@@ -1,0 +1,1 @@
+bin/discfs_ctl.ml: Arg Cmd Cmdliner Dcrypto Discfs Ffs Format Fun Keynote List Nfs Printf Simnet String Sys Term Xdr

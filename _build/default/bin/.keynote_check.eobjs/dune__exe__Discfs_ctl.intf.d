@@ -1,0 +1,1 @@
+bin/discfs_ctl.mli:

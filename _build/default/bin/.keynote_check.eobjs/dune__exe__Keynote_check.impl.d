@@ -1,0 +1,1 @@
+bin/keynote_check.ml: Arg Cmd Cmdliner Dcrypto Format Fun Hashtbl Keynote List Printf String Sys Term

@@ -1,0 +1,1 @@
+bin/keynote_check.mli:

@@ -1,0 +1,212 @@
+(* discfs_ctl: operator tooling for DisCFS.
+
+   - issue: mint a credential from a private-key file (the utility a
+     user runs before mailing access to a colleague)
+   - demo:  stand up a complete simulated deployment and narrate the
+     protocol: IKE attach, credential submission, authorized and
+     denied NFS operations, with wire/crypto/KeyNote statistics. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_private path =
+  Dcrypto.Dsa.priv_decode (Dcrypto.Hexcodec.decode (String.trim (read_file path)))
+
+(* --- issue ----------------------------------------------------------- *)
+
+let issue keyfile licensee handle perms comment =
+  let key = load_private keyfile in
+  let licensee =
+    if Sys.file_exists licensee then String.trim (read_file licensee) else licensee
+  in
+  let conditions =
+    Printf.sprintf "(app_domain == \"DisCFS\") && (HANDLE == \"%d\") -> \"%s\";" handle perms
+  in
+  let drbg = Dcrypto.Drbg.create ~seed:(Dcrypto.Sha256.digest (conditions ^ keyfile)) in
+  let cred =
+    Keynote.Assertion.issue ~key ~drbg ?comment
+      ~licensees:(Printf.sprintf "\"%s\"" licensee)
+      ~conditions ()
+  in
+  print_string (Keynote.Assertion.to_text cred);
+  0
+
+let perms_conv =
+  let parse s =
+    let ok = List.mem s [ "X"; "W"; "WX"; "R"; "RX"; "RW"; "RWX" ] in
+    if ok then Ok s else Error (`Msg "permissions must be one of X W WX R RX RW RWX")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let issue_cmd =
+  let keyfile = Arg.(required & pos 0 (some file) None & info [] ~docv:"KEY.priv") in
+  let licensee =
+    Arg.(required & opt (some string) None & info [ "to" ] ~docv:"PRINCIPAL|FILE"
+           ~doc:"The licensee: a dsa-hex principal or a .pub file.")
+  in
+  let handle =
+    Arg.(required & opt (some int) None & info [ "handle" ] ~docv:"INODE"
+           ~doc:"The DisCFS file handle (inode number).")
+  in
+  let perms = Arg.(value & opt perms_conv "R" & info [ "perms" ] ~docv:"RWX") in
+  let comment = Arg.(value & opt (some string) None & info [ "comment" ] ~docv:"TEXT") in
+  Cmd.v (Cmd.info "issue" ~doc:"Issue a DisCFS credential")
+    Term.(const issue $ keyfile $ licensee $ handle $ perms $ comment)
+
+(* --- demo ------------------------------------------------------------- *)
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let demo seed =
+  let d = Discfs.Deploy.make ~seed () in
+  say "== DisCFS demonstration (deterministic seed %S) ==@." seed;
+  say "1. Server deployed. Policy trusts the administrator key %s..."
+    (String.sub (Discfs.Deploy.admin_principal d) 0 30);
+
+  let bob = Discfs.Deploy.new_identity d in
+  let client = Discfs.Deploy.attach d ~identity:bob ~uid:100 () in
+  say "2. Bob attaches. IKE authenticated both ends in %.0f ms of virtual time;"
+    (Simnet.Clock.now d.Discfs.Deploy.clock *. 1000.);
+  say "   the server now binds this connection to Bob's key %s..."
+    (String.sub (Discfs.Client.principal client) 0 30);
+
+  let root = Discfs.Client.root client in
+  say "3. Without credentials the tree is mode 000:";
+  let attr = Nfs.Client.getattr (Discfs.Client.nfs client) root in
+  say "   getattr / -> mode %03o uid %d" (attr.Nfs.Proto.mode land 0o777) attr.Nfs.Proto.uid;
+  (match Nfs.Client.readdir (Discfs.Client.nfs client) root with
+  | exception Nfs.Proto.Nfs_error s -> say "   readdir / -> %s" (Nfs.Proto.status_to_string s)
+  | _ -> ());
+
+  let cred =
+    Discfs.Deploy.admin_issue d
+      ~licensees:(Printf.sprintf "\"%s\"" (Discfs.Client.principal client))
+      ~conditions:
+        (Printf.sprintf "(app_domain == \"DisCFS\") && (HANDLE == \"%d\") -> \"RWX\";"
+           root.Nfs.Proto.ino)
+      ~comment:"root for Bob" ()
+  in
+  say "4. The administrator mails Bob a credential:";
+  print_string (Keynote.Assertion.to_text cred);
+  (match Discfs.Client.submit_credential client cred with
+  | Ok fp -> say "5. Bob submits it over RPC; server accepts (fingerprint %s)." fp
+  | Error e -> failwith e);
+
+  let fh, _, file_cred = Discfs.Client.create client ~dir:root "demo.txt" () in
+  say "6. Bob creates demo.txt with the DisCFS create call; the server";
+  say "   returns a fresh RWX credential (fingerprint %s)."
+    (Keynote.Assertion.fingerprint file_cred);
+  Nfs.Client.write_all (Discfs.Client.nfs client) fh "credentials, not accounts\n";
+  let _, data = Nfs.Client.read (Discfs.Client.nfs client) fh ~off:0 ~count:64 in
+  say "7. Write + read back: %S" data;
+
+  let mallory = Discfs.Deploy.attach d ~identity:(Discfs.Deploy.new_identity d) ~uid:666 () in
+  (match Nfs.Client.read (Discfs.Client.nfs mallory) fh ~off:0 ~count:4 with
+  | exception Nfs.Proto.Nfs_error s ->
+    say "8. A second user without credentials is refused: %s" (Nfs.Proto.status_to_string s)
+  | _ -> failwith "unexpected grant");
+
+  say "@.-- statistics (virtual time %.3f s) --" (Simnet.Clock.now d.Discfs.Deploy.clock);
+  List.iter
+    (fun (k, v) -> say "   %-24s %d" k v)
+    (Simnet.Stats.to_list d.Discfs.Deploy.stats);
+  let cache = Discfs.Server.cache d.Discfs.Deploy.server in
+  say "   %-24s %d hits / %d misses" "policy cache"
+    (Discfs.Policy_cache.hits cache) (Discfs.Policy_cache.misses cache);
+  0
+
+let demo_cmd =
+  let seed = Arg.(value & opt string "discfs-demo" & info [ "seed" ] ~docv:"SEED") in
+  Cmd.v (Cmd.info "demo" ~doc:"Run a narrated end-to-end demonstration")
+    Term.(const demo $ seed)
+
+(* --- snapshot / fsck --------------------------------------------------- *)
+
+let snapshot seed out =
+  (* Run a small deployment and dump its volume to a real disk image
+     file, for fsck below. *)
+  let d = Discfs.Deploy.make ~seed () in
+  let admin = Discfs.Deploy.attach d ~identity:d.Discfs.Deploy.admin ~uid:0 () in
+  let root = Discfs.Client.root admin in
+  let docs, _, _ = Discfs.Client.mkdir admin ~dir:root "docs" () in
+  let fh, _, _ = Discfs.Client.create admin ~dir:docs "paper.tex" () in
+  Nfs.Client.write_all (Discfs.Client.nfs admin) fh
+    "\\title{Secure and Flexible Global File Sharing}\n";
+  write_file out (Ffs.Fs.save d.Discfs.Deploy.fs);
+  say "wrote volume image to %s" out;
+  0
+
+let snapshot_cmd =
+  let seed = Arg.(value & opt string "discfs-snapshot" & info [ "seed" ] ~docv:"SEED") in
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE") in
+  Cmd.v (Cmd.info "snapshot" ~doc:"Create a demo volume and dump its disk image")
+    Term.(const snapshot $ seed $ out)
+
+let fsck image_path =
+  let image = read_file image_path in
+  (* Geometry lives right after the magic in the image header. *)
+  let d = Xdr.Dec.of_string image in
+  (match Xdr.Dec.string d with
+  | "DISCFS-FFS-IMAGE-1" -> ()
+  | _ | (exception Xdr.Decode_error _) ->
+    prerr_endline "not a DisCFS volume image";
+    exit 2);
+  let block_size = Xdr.Dec.uint32 d in
+  let nblocks = Xdr.Dec.uint32 d in
+  let clock = Simnet.Clock.create () in
+  let stats = Simnet.Stats.create () in
+  let dev =
+    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.local_only ~stats ~nblocks ~block_size
+  in
+  match Ffs.Fs.load ~dev image with
+  | exception Ffs.Fs.Bad_image m ->
+    Printf.eprintf "corrupt image: %s\n" m;
+    2
+  | fs ->
+    let s = Ffs.Fs.statfs fs in
+    say "volume: %d blocks x %d B (%d free), %d inodes (%d free)" s.Ffs.Fs.f_total_blocks
+      block_size s.Ffs.Fs.f_free_blocks s.Ffs.Fs.f_total_inodes s.Ffs.Fs.f_free_inodes;
+    let files = ref 0 and dirs = ref 0 and bytes = ref 0 in
+    let rec walk ino depth =
+      List.iter
+        (fun (name, child) ->
+          if name <> "." && name <> ".." then begin
+            let attr = Ffs.Fs.getattr fs child in
+            say "%s%-30s %6d B  ino %d gen %d"
+              (String.make (depth * 2) ' ')
+              name attr.Ffs.Inode.a_size child attr.Ffs.Inode.a_gen;
+            match attr.Ffs.Inode.a_kind with
+            | Ffs.Inode.Dir ->
+              incr dirs;
+              walk child (depth + 1)
+            | Ffs.Inode.Reg ->
+              incr files;
+              bytes := !bytes + attr.Ffs.Inode.a_size;
+              (* Verify every block is readable. *)
+              ignore (Ffs.Fs.read fs child ~off:0 ~len:attr.Ffs.Inode.a_size)
+            | Ffs.Inode.Symlink -> ignore (Ffs.Fs.readlink fs child)
+          end)
+        (Ffs.Fs.readdir fs ino)
+    in
+    walk (Ffs.Fs.root fs) 0;
+    say "clean: %d dirs, %d files, %d bytes verified readable" !dirs !files !bytes;
+    0
+
+let fsck_cmd =
+  let image = Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE") in
+  Cmd.v (Cmd.info "fsck" ~doc:"Check and list a volume image") Term.(const fsck $ image)
+
+let main_cmd =
+  Cmd.group (Cmd.info "discfs_ctl" ~version:"1.0" ~doc:"DisCFS operator tool")
+    [ issue_cmd; demo_cmd; snapshot_cmd; fsck_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,178 @@
+(* keynote_check: a command-line front end to the KeyNote engine,
+   modelled on the keynote(1) utility shipped with OpenBSD.
+
+   Subcommands:
+     keygen   generate a DSA key pair into <prefix>.priv / <prefix>.pub
+     sign     sign an unsigned assertion file with a private key
+     verify   check the signature on an assertion file
+     inspect  parse an assertion and print its fields
+     query    run a compliance check: policy + credentials +
+              attributes + requesters -> compliance value *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let load_private path = Dcrypto.Dsa.priv_decode (Dcrypto.Hexcodec.decode (String.trim (read_file path)))
+
+(* --- keygen --------------------------------------------------------- *)
+
+let keygen seed prefix =
+  let drbg =
+    Dcrypto.Drbg.create
+      ~seed:
+        (match seed with
+        | Some s -> s
+        | None -> Printf.sprintf "keygen-%f-%d" (Sys.time ()) (Hashtbl.hash (Sys.getcwd ())))
+  in
+  let key = Dcrypto.Dsa.generate_key drbg in
+  write_file (prefix ^ ".priv") (Dcrypto.Hexcodec.encode (Dcrypto.Dsa.priv_encode key) ^ "\n");
+  write_file (prefix ^ ".pub")
+    (Keynote.Assertion.principal_of_pub key.Dcrypto.Dsa.pub ^ "\n");
+  Printf.printf "wrote %s.priv and %s.pub (fingerprint %s)\n" prefix prefix
+    (Dcrypto.Dsa.fingerprint key.Dcrypto.Dsa.pub);
+  0
+
+let keygen_cmd =
+  let seed =
+    Arg.(value & opt (some string) None & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Deterministic seed (default: time-based).")
+  in
+  let prefix = Arg.(required & pos 0 (some string) None & info [] ~docv:"PREFIX") in
+  Cmd.v (Cmd.info "keygen" ~doc:"Generate a DSA key pair") Term.(const keygen $ seed $ prefix)
+
+(* --- sign ----------------------------------------------------------- *)
+
+let sign keyfile infile outfile =
+  let key = load_private keyfile in
+  let text = read_file infile in
+  let text = if String.length text > 0 && text.[String.length text - 1] = '\n' then text else text ^ "\n" in
+  let drbg = Dcrypto.Drbg.create ~seed:(Dcrypto.Sha256.digest (text ^ keyfile)) in
+  let signature = Dcrypto.Dsa.sign ~key drbg (text ^ Keynote.Assertion.sig_alg) in
+  let sig_hex = Dcrypto.Hexcodec.encode (Dcrypto.Dsa.sig_encode signature) in
+  let full = text ^ Printf.sprintf "Signature: \"%s%s\"\n" Keynote.Assertion.sig_alg sig_hex in
+  (match Keynote.Assertion.parse full with
+  | a when Keynote.Assertion.verify a -> ()
+  | _ -> failwith "internal error: signed assertion does not verify"
+  | exception Keynote.Assertion.Parse_error m -> failwith ("assertion does not parse: " ^ m));
+  (match outfile with Some f -> write_file f full | None -> print_string full);
+  0
+
+let sign_cmd =
+  let keyfile = Arg.(required & pos 0 (some file) None & info [] ~docv:"KEY.priv") in
+  let infile = Arg.(required & pos 1 (some file) None & info [] ~docv:"ASSERTION") in
+  let outfile = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "sign" ~doc:"Sign an unsigned assertion")
+    Term.(const sign $ keyfile $ infile $ outfile)
+
+(* --- verify / inspect ------------------------------------------------ *)
+
+let verify file =
+  match Keynote.Assertion.parse (read_file file) with
+  | exception Keynote.Assertion.Parse_error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    2
+  | a ->
+    if Keynote.Assertion.verify a then begin
+      Printf.printf "signature valid (authorizer %s..., fingerprint %s)\n"
+        (String.sub a.Keynote.Assertion.authorizer 0 (min 24 (String.length a.Keynote.Assertion.authorizer)))
+        (Keynote.Assertion.fingerprint a);
+      0
+    end
+    else begin
+      Printf.printf "signature INVALID or missing\n";
+      1
+    end
+
+let verify_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"ASSERTION") in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify an assertion's signature") Term.(const verify $ file)
+
+let inspect file =
+  match Keynote.Assertion.parse (read_file file) with
+  | exception Keynote.Assertion.Parse_error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    2
+  | a ->
+    let open Keynote.Assertion in
+    Printf.printf "fingerprint:  %s\n" (fingerprint a);
+    Printf.printf "authorizer:   %s\n" a.authorizer;
+    (match a.licensees with
+    | Some l -> Format.printf "licensees:    %a@." Keynote.Ast.pp_licensees l
+    | None -> Printf.printf "licensees:    (none)\n");
+    Printf.printf "conditions:   %s\n"
+      (match a.conditions with Some prog -> Printf.sprintf "%d clause(s)" (List.length prog) | None -> "(unconditional)");
+    (match a.comment with Some c -> Printf.printf "comment:      %s\n" c | None -> ());
+    Printf.printf "signature:    %s\n"
+      (match a.signature with
+      | Some _ -> if Keynote.Assertion.verify a then "valid" else "INVALID"
+      | None -> "(unsigned: policy assertion)");
+    0
+
+let inspect_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"ASSERTION") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print an assertion's fields") Term.(const inspect $ file)
+
+(* --- query ----------------------------------------------------------- *)
+
+let parse_kv s =
+  match String.index_opt s '=' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> failwith (Printf.sprintf "attribute %S is not name=value" s)
+
+let query policy_files cred_files attrs requesters values =
+  let parse_file f = Keynote.Assertion.parse (read_file f) in
+  let policy = List.map parse_file policy_files in
+  let credentials = List.map parse_file cred_files in
+  let attributes = List.map parse_kv attrs in
+  let requesters =
+    List.map
+      (fun r -> if Sys.file_exists r then String.trim (read_file r) else r)
+      requesters
+  in
+  let result =
+    Keynote.Compliance.check ~policy ~credentials
+      { Keynote.Compliance.requesters; attributes; values }
+  in
+  Printf.printf "compliance value: %s (level %d of %d)\n" result.Keynote.Compliance.value
+    result.Keynote.Compliance.level
+    (List.length values - 1);
+  List.iter (fun line -> Printf.printf "  %s\n" line) result.Keynote.Compliance.trace;
+  if result.Keynote.Compliance.level > 0 then 0 else 1
+
+let query_cmd =
+  let policy =
+    Arg.(value & opt_all file [] & info [ "p"; "policy" ] ~docv:"FILE" ~doc:"Policy assertion file (repeatable).")
+  in
+  let creds =
+    Arg.(value & opt_all file [] & info [ "c"; "credential" ] ~docv:"FILE" ~doc:"Credential file (repeatable).")
+  in
+  let attrs =
+    Arg.(value & opt_all string [] & info [ "a"; "attribute" ] ~docv:"NAME=VALUE" ~doc:"Action attribute (repeatable).")
+  in
+  let requesters =
+    Arg.(value & opt_all string [] & info [ "r"; "requester" ] ~docv:"PRINCIPAL|FILE"
+           ~doc:"Requesting principal, inline or a .pub file (repeatable).")
+  in
+  let values =
+    Arg.(value & opt (list string) [ "false"; "X"; "W"; "WX"; "R"; "RX"; "RW"; "RWX" ]
+         & info [ "values" ] ~docv:"V1,V2,..." ~doc:"Ordered compliance values, lowest first.")
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run a compliance check")
+    Term.(const query $ policy $ creds $ attrs $ requesters $ values)
+
+let main_cmd =
+  let doc = "KeyNote trust-management utility (RFC 2704)" in
+  Cmd.group (Cmd.info "keynote_check" ~version:"1.0" ~doc)
+    [ keygen_cmd; sign_cmd; verify_cmd; inspect_cmd; query_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/cvs_repository.ml: Discfs Format Keynote List Nfs Printf Rex String

@@ -1,0 +1,1 @@
+examples/cvs_repository.mli:

@@ -1,0 +1,1 @@
+examples/office_hours.ml: Discfs Format Nfs Printf

@@ -1,0 +1,1 @@
+examples/public_www.ml: Dcrypto Discfs Format Keynote Nfs Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Discfs Format Keynote List Nfs Printf String

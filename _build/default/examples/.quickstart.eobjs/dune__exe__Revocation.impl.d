@@ -1,0 +1,1 @@
+examples/revocation.ml: Discfs Format Keynote Nfs Printf

@@ -1,0 +1,1 @@
+examples/sales_delegation.ml: Discfs Format Keynote List Nfs Printf String

@@ -1,0 +1,1 @@
+examples/two_servers.ml: Discfs Format Nfs Printf String

@@ -1,0 +1,56 @@
+let add ~m a b = Nat.rem (Nat.add a b) m
+
+let sub ~m a b =
+  let a = Nat.rem a m and b = Nat.rem b m in
+  if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a m) b
+
+let mul ~m a b = Nat.rem (Nat.mul a b) m
+
+let pow ~m b e =
+  if Nat.equal m Nat.one then Nat.zero
+  else begin
+    let b = Nat.rem b m in
+    let result = ref Nat.one in
+    let nbits = Nat.num_bits e in
+    for i = nbits - 1 downto 0 do
+      result := mul ~m !result !result;
+      if Nat.bit e i then result := mul ~m !result b
+    done;
+    !result
+  end
+
+let rec gcd a b = if Nat.is_zero b then a else gcd b (Nat.rem a b)
+
+(* Extended Euclid with a tiny signed-integer layer: coefficients can
+   go negative even though all intermediate magnitudes stay below the
+   modulus product. *)
+type signed = { neg : bool; mag : Nat.t }
+
+let s_of_nat n = { neg = false; mag = n }
+
+let s_sub a b =
+  (* a - b for signed values *)
+  match a.neg, b.neg with
+  | false, true -> { neg = false; mag = Nat.add a.mag b.mag }
+  | true, false -> { neg = true; mag = Nat.add a.mag b.mag }
+  | an, _ ->
+    if Nat.compare a.mag b.mag >= 0 then { neg = an; mag = Nat.sub a.mag b.mag }
+    else { neg = not an; mag = Nat.sub b.mag a.mag }
+
+let s_mul_nat a n = { a with mag = Nat.mul a.mag n }
+
+let inv ~m a =
+  let a = Nat.rem a m in
+  if Nat.is_zero a then raise Not_found;
+  (* Invariants: r0 = x0*a (mod m), r1 = x1*a (mod m). *)
+  let rec go r0 r1 x0 x1 =
+    if Nat.is_zero r1 then
+      if Nat.equal r0 Nat.one then x0 else raise Not_found
+    else begin
+      let q, r = Nat.divmod r0 r1 in
+      go r1 r x1 (s_sub x0 (s_mul_nat x1 q))
+    end
+  in
+  let x = go a m (s_of_nat Nat.one) (s_of_nat Nat.zero) in
+  let reduced = Nat.rem x.mag m in
+  if x.neg && not (Nat.is_zero reduced) then Nat.sub m reduced else reduced

@@ -1,0 +1,1 @@
+lib/bonnie/backend.ml: Cfs Discfs Ffs List Nfs Option Printf Simnet

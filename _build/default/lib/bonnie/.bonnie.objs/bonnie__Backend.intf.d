@@ -1,0 +1,1 @@
+lib/bonnie/backend.mli: Discfs Ffs Ipsec Simnet

@@ -1,0 +1,1 @@
+lib/bonnie/bench.ml: Backend Bytes Char Format Simnet String

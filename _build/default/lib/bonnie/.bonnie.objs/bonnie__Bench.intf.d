@@ -1,0 +1,1 @@
+lib/bonnie/bench.mli: Backend Format

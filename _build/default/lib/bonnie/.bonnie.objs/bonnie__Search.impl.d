@@ -1,0 +1,1 @@
+lib/bonnie/search.ml: Backend Buffer Dcrypto Ffs List Printf Simnet String

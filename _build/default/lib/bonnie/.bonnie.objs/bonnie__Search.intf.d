@@ -1,0 +1,1 @@
+lib/bonnie/search.mli: Backend

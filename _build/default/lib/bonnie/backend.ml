@@ -1,0 +1,159 @@
+module Clock = Simnet.Clock
+module Cost = Simnet.Cost
+module Stats = Simnet.Stats
+module Proto = Nfs.Proto
+
+type handle = Ino of int | Fh of Proto.fh
+
+type t = {
+  label : string;
+  clock : Clock.t;
+  stats : Stats.t;
+  cost : Cost.t;
+  fs : Ffs.Fs.t;
+  root : handle;
+  mkdir : handle -> string -> handle;
+  create : handle -> string -> handle;
+  write : handle -> off:int -> string -> unit;
+  read : handle -> off:int -> len:int -> string;
+  readdir : handle -> string list;
+  lookup : handle -> string -> handle;
+  remove : handle -> string -> unit;
+}
+
+let handle_of_ino ino = Ino ino
+
+let to_ino = function Ino i -> i | Fh fh -> fh.Proto.ino
+
+let strip_dots names = List.filter (fun n -> n <> "." && n <> "..") names
+
+(* --- local FFS ------------------------------------------------------ *)
+
+let ffs_local ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let cost = Cost.local_only in
+  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  let fs = Ffs.Fs.create ~dev ~ninodes in
+  let syscall () = Clock.advance clock cost.Cost.syscall in
+  {
+    label = "FFS";
+    clock;
+    stats;
+    cost;
+    fs;
+    root = Ino (Ffs.Fs.root fs);
+    mkdir =
+      (fun dir name ->
+        syscall ();
+        Ino (Ffs.Fs.mkdir fs (to_ino dir) name ~perms:0o755 ~uid:0));
+    create =
+      (fun dir name ->
+        syscall ();
+        Ino (Ffs.Fs.create_file fs (to_ino dir) name ~perms:0o644 ~uid:0));
+    write =
+      (fun h ~off data ->
+        syscall ();
+        Ffs.Fs.write fs (to_ino h) ~off data);
+    read =
+      (fun h ~off ~len ->
+        syscall ();
+        Ffs.Fs.read fs (to_ino h) ~off ~len);
+    readdir =
+      (fun h ->
+        syscall ();
+        strip_dots (List.map fst (Ffs.Fs.readdir fs (to_ino h))));
+    lookup =
+      (fun dir name ->
+        syscall ();
+        Ino (Ffs.Fs.lookup fs (to_ino dir) name));
+    remove =
+      (fun dir name ->
+        syscall ();
+        Ffs.Fs.remove fs (to_ino dir) name);
+  }
+
+(* --- shared remote plumbing ------------------------------------------ *)
+
+let remote_ops ~label ~clock ~stats ~cost ~fs ~(nfs : Nfs.Client.t) ~root =
+  let syscall () = Clock.advance clock cost.Cost.syscall in
+  let to_fh = function
+    | Fh fh -> fh
+    | Ino ino -> { Proto.ino; gen = Ffs.Fs.generation fs ino }
+  in
+  {
+    label;
+    clock;
+    stats;
+    cost;
+    fs;
+    root;
+    mkdir =
+      (fun dir name ->
+        syscall ();
+        let fh, _ = Nfs.Client.mkdir nfs (to_fh dir) name Proto.sattr_none in
+        Fh fh);
+    create =
+      (fun dir name ->
+        syscall ();
+        let fh, _ = Nfs.Client.create_file nfs (to_fh dir) name Proto.sattr_none in
+        Fh fh);
+    write =
+      (fun h ~off data ->
+        syscall ();
+        ignore (Nfs.Client.write nfs (to_fh h) ~off data));
+    read =
+      (fun h ~off ~len ->
+        syscall ();
+        snd (Nfs.Client.read nfs (to_fh h) ~off ~count:len));
+    readdir =
+      (fun h ->
+        syscall ();
+        strip_dots (List.map fst (Nfs.Client.readdir nfs (to_fh h))));
+    lookup =
+      (fun dir name ->
+        syscall ();
+        let fh, _ = Nfs.Client.lookup nfs (to_fh dir) name in
+        Fh fh);
+    remove =
+      (fun dir name ->
+        syscall ();
+        Nfs.Client.remove nfs (to_fh dir) name);
+  }
+
+(* --- CFS-NE ----------------------------------------------------------- *)
+
+let cfs_ne ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) () =
+  let d = Cfs.Cfs_ne.deploy ~nblocks ~block_size ~ninodes () in
+  let nfs, root = Cfs.Cfs_ne.connect d () in
+  remote_ops ~label:"CFS-NE" ~clock:d.Cfs.Cfs_ne.clock ~stats:d.Cfs.Cfs_ne.stats
+    ~cost:Cost.default ~fs:d.Cfs.Cfs_ne.fs ~nfs ~root:(Fh root)
+
+(* --- DisCFS ------------------------------------------------------------ *)
+
+(* Deployments are remembered by their (physically unique) clock so
+   ablation benches can reach cache statistics. *)
+let deployments : (Clock.t * Discfs.Deploy.t) list ref = ref []
+
+let discfs ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) ?(cache_size = 128)
+    ?cipher () =
+  let d = Discfs.Deploy.make ~nblocks ~block_size ~ninodes ~cache_size () in
+  let bob = Discfs.Deploy.new_identity d in
+  let client = Discfs.Deploy.attach d ~identity:bob ?cipher () in
+  (* The administrator grants the benchmark user full rights over the
+     volume, as the paper's evaluation setup does implicitly. *)
+  let cred =
+    Discfs.Deploy.admin_issue d
+      ~licensees:(Printf.sprintf "\"%s\"" (Discfs.Client.principal client))
+      ~conditions:"app_domain == \"DisCFS\" -> \"RWX\";" ~comment:"benchmark user" ()
+  in
+  (match Discfs.Client.submit_credential client cred with
+  | Ok _ -> ()
+  | Error e -> failwith ("credential submission failed: " ^ e));
+  deployments := (d.Discfs.Deploy.clock, d) :: !deployments;
+  remote_ops ~label:"DisCFS" ~clock:d.Discfs.Deploy.clock ~stats:d.Discfs.Deploy.stats
+    ~cost:Cost.default ~fs:d.Discfs.Deploy.fs ~nfs:(Discfs.Client.nfs client)
+    ~root:(Fh (Discfs.Client.root client))
+
+let discfs_deploy t =
+  List.find_opt (fun (clock, _) -> clock == t.clock) !deployments |> Option.map snd

@@ -1,0 +1,52 @@
+(** A uniform client-side view of the three systems the paper
+    benchmarks (§6): local FFS, remote CFS-NE, and DisCFS (NFS over
+    IPsec with KeyNote checks). Each backend is fully set up
+    (deployed, attached, credentials in place) on construction;
+    workloads reset the virtual clock before measuring. *)
+
+type handle
+
+type t = {
+  label : string;
+  clock : Simnet.Clock.t;
+  stats : Simnet.Stats.t;
+  cost : Simnet.Cost.t;
+  fs : Ffs.Fs.t; (** server-side filesystem, for out-of-band setup *)
+  root : handle;
+  mkdir : handle -> string -> handle;
+  create : handle -> string -> handle;
+  write : handle -> off:int -> string -> unit;
+  read : handle -> off:int -> len:int -> string; (** short read at EOF *)
+  readdir : handle -> string list; (** without ["."] and [".."] *)
+  lookup : handle -> string -> handle;
+  remove : handle -> string -> unit;
+}
+
+val handle_of_ino : int -> handle
+(** Address a server-side inode through a backend (used after
+    building workload trees directly on [fs]). For remote backends
+    the handle is re-derived from inode and generation. *)
+
+val ffs_local : ?nblocks:int -> ?block_size:int -> ?ninodes:int -> unit -> t
+(** Direct filesystem calls, no network (the FFS rows). Every
+    operation charges one syscall of CPU. *)
+
+val cfs_ne : ?nblocks:int -> ?block_size:int -> ?ninodes:int -> unit -> t
+(** Plain NFS over the simulated Ethernet (the CFS-NE rows). *)
+
+val discfs :
+  ?nblocks:int ->
+  ?block_size:int ->
+  ?ninodes:int ->
+  ?cache_size:int ->
+  ?cipher:Ipsec.Sa.cipher ->
+  unit ->
+  t
+(** Full DisCFS: IKE attach, ESP on every RPC, KeyNote authorization
+    with the policy cache (the DisCFS rows). The test user holds an
+    administrator-issued credential granting RWX over the volume,
+    mirroring the paper's benchmark setup. *)
+
+val discfs_deploy : t -> Discfs.Deploy.t option
+(** The underlying testbed when the backend is DisCFS (for cache
+    statistics in the ablation benches). *)

@@ -1,0 +1,109 @@
+module Clock = Simnet.Clock
+module Cost = Simnet.Cost
+
+type spec = { dirs : int; files_per_dir : int; mean_file_size : int; seed : string }
+
+let default_spec = { dirs = 48; files_per_dir = 24; mean_file_size = 6144; seed = "kernel-tree" }
+
+type totals = { files : int; lines : int; words : int; bytes : int }
+
+(* Deterministic C-looking content so the word/line counts are
+   plausible and stable across runs. *)
+let file_content drbg size =
+  let buf = Buffer.create (size + 64) in
+  Buffer.add_string buf "/* synthetic kernel source */\n#include <sys/param.h>\n";
+  let i = ref 0 in
+  while Buffer.length buf < size do
+    incr i;
+    let kind = Dcrypto.Drbg.int_below drbg 4 in
+    (match kind with
+    | 0 -> Buffer.add_string buf (Printf.sprintf "int var_%d = %d;\n" !i (Dcrypto.Drbg.int_below drbg 4096))
+    | 1 ->
+      Buffer.add_string buf
+        (Printf.sprintf "static void fn_%d(struct proc *p) { p->p_flag |= %d; }\n" !i
+           (Dcrypto.Drbg.int_below drbg 256))
+    | 2 -> Buffer.add_string buf (Printf.sprintf "#define FLAG_%d 0x%04x\n" !i (Dcrypto.Drbg.int_below drbg 65536))
+    | _ -> Buffer.add_string buf "/* XXX revisit locking here */\n");
+  done;
+  Buffer.contents buf
+
+let build (b : Backend.t) spec =
+  let fs = b.Backend.fs in
+  let drbg = Dcrypto.Drbg.create ~seed:spec.seed in
+  let root = Ffs.Fs.root fs in
+  for d = 0 to spec.dirs - 1 do
+    let dir = Ffs.Fs.mkdir fs root (Printf.sprintf "sys%02d" d) ~perms:0o755 ~uid:0 in
+    for f = 0 to spec.files_per_dir - 1 do
+      let ext = if f mod 3 = 2 then "h" else "c" in
+      (* Long-tailed sizes: most files small, a few several times the mean. *)
+      let size =
+        let r = Dcrypto.Drbg.int_below drbg 100 in
+        if r < 70 then spec.mean_file_size / 2 + Dcrypto.Drbg.int_below drbg spec.mean_file_size
+        else if r < 95 then spec.mean_file_size + Dcrypto.Drbg.int_below drbg (2 * spec.mean_file_size)
+        else 3 * spec.mean_file_size + Dcrypto.Drbg.int_below drbg (4 * spec.mean_file_size)
+      in
+      let ino = Ffs.Fs.create_file fs dir (Printf.sprintf "src_%02d_%02d.%s" d f ext) ~perms:0o644 ~uid:0 in
+      Ffs.Fs.write fs ino ~off:0 (file_content drbg size);
+      (* A Makefile per directory exercises the extension filter. *)
+      if f = 0 then begin
+        let mk = Ffs.Fs.create_file fs dir "Makefile" ~perms:0o644 ~uid:0 in
+        Ffs.Fs.write fs mk ~off:0 "all:\n\tcc -c *.c\n"
+      end
+    done
+  done;
+  Clock.reset b.Backend.clock
+
+let is_source name =
+  let n = String.length name in
+  n > 2 && (String.sub name (n - 2) 2 = ".c" || String.sub name (n - 2) 2 = ".h")
+
+(* wc, charging per-character CPU like the paper's script. *)
+let wc (b : Backend.t) data =
+  Clock.advance b.Backend.clock (float_of_int (String.length data) *. b.Backend.cost.Cost.char_io);
+  let lines = ref 0 and words = ref 0 and in_word = ref false in
+  String.iter
+    (fun c ->
+      if c = '\n' then incr lines;
+      if c = ' ' || c = '\t' || c = '\n' then in_word := false
+      else if not !in_word then begin
+        in_word := true;
+        incr words
+      end)
+    data;
+  (!lines, !words, String.length data)
+
+let read_whole (b : Backend.t) h =
+  let buf = Buffer.create 8192 in
+  let rec go off =
+    let data = b.Backend.read h ~off ~len:8192 in
+    if data <> "" then begin
+      Buffer.add_string buf data;
+      if String.length data = 8192 then go (off + 8192)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let run (b : Backend.t) =
+  let totals = ref { files = 0; lines = 0; words = 0; bytes = 0 } in
+  let start = Clock.now b.Backend.clock in
+  let rec walk dir =
+    List.iter
+      (fun name ->
+        let h = b.Backend.lookup dir name in
+        if is_source name then begin
+          let data = read_whole b h in
+          let l, w, c = wc b data in
+          totals :=
+            {
+              files = !totals.files + 1;
+              lines = !totals.lines + l;
+              words = !totals.words + w;
+              bytes = !totals.bytes + c;
+            }
+        end
+        else if String.length name >= 3 && String.sub name 0 3 = "sys" then walk h)
+      (b.Backend.readdir dir)
+  in
+  walk b.Backend.root;
+  (!totals, Clock.now b.Backend.clock -. start)

@@ -1,0 +1,32 @@
+(** The paper's macro-benchmark (Figure 12): a script that walks
+    every [.c] and [.h] file of a kernel source tree and counts
+    lines, words and bytes (a recursive [wc]). The tree here is
+    synthetic but shaped like the OpenBSD kernel sources:
+    subdirectories of C files with a long-tailed size
+    distribution. *)
+
+type spec = {
+  dirs : int;
+  files_per_dir : int;
+  mean_file_size : int; (** bytes; actual sizes vary around this *)
+  seed : string;
+}
+
+val default_spec : spec
+(** 48 directories x 24 files, ~6 KB mean: a scaled-down kernel tree
+    (the full tree just multiplies every number; see EXPERIMENTS.md). *)
+
+type totals = { files : int; lines : int; words : int; bytes : int }
+
+val is_source : string -> bool
+(** True for [.c]/[.h] names — the filter the paper's script uses. *)
+
+val build : Backend.t -> spec -> unit
+(** Create the tree directly on the server-side filesystem (out of
+    band, like preloading the disk before the benchmark) and reset
+    the virtual clock. *)
+
+val run : Backend.t -> totals * float
+(** Walk the backend's root, [wc] every [.c]/[.h] file through the
+    client path, and return the totals with the simulated seconds
+    elapsed. *)

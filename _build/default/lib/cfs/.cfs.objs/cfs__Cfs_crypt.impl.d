@@ -1,0 +1,1 @@
+lib/cfs/cfs_crypt.ml: Buffer Char Dcrypto List Nfs Simnet String

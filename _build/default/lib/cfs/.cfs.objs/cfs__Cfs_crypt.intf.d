@@ -1,0 +1,1 @@
+lib/cfs/cfs_crypt.mli: Nfs Simnet

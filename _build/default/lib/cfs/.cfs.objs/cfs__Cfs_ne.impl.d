@@ -1,0 +1,1 @@
+lib/cfs/cfs_ne.ml: Ffs Nfs Oncrpc Simnet

@@ -1,0 +1,1 @@
+lib/cfs/cfs_ne.mli: Ffs Nfs Oncrpc Simnet

@@ -1,0 +1,85 @@
+module Clock = Simnet.Clock
+module Cost = Simnet.Cost
+module Proto = Nfs.Proto
+
+type t = { nfs : Nfs.Client.t; clock : Clock.t; cost : Cost.t; key : string }
+
+let create ~nfs ~clock ~cost ~key =
+  if String.length key <> 32 then invalid_arg "Cfs_crypt.create: key must be 32 bytes";
+  { nfs; clock; cost; key }
+
+let charge t nbytes =
+  Clock.advance t.clock (float_of_int nbytes *. t.cost.Cost.esp_per_byte)
+
+(* Deterministic name masking: a fixed-nonce keystream XOR, hex
+   encoded. Equal names encrypt equally (required for lookup); equal
+   prefixes leak, exactly as in the original CFS. *)
+let name_nonce = String.sub (Dcrypto.Sha256.digest "cfs-name-nonce") 0 12
+
+let encrypt_name t name =
+  charge t (String.length name);
+  Dcrypto.Hexcodec.encode (Dcrypto.Chacha20.crypt ~key:t.key ~nonce:name_nonce name)
+
+let decrypt_name t masked =
+  charge t (String.length masked / 2);
+  Dcrypto.Chacha20.crypt ~key:t.key ~nonce:name_nonce (Dcrypto.Hexcodec.decode masked)
+
+(* Content encryption: per-file-block keystream, nonce = block index
+   + low inode bits so blocks can be re-encrypted independently. *)
+let block_nonce (fh : Proto.fh) fblock =
+  let e = Buffer.create 12 in
+  let add32 v = for i = 3 downto 0 do Buffer.add_char e (Char.chr ((v lsr (i * 8)) land 0xff)) done in
+  add32 fh.Proto.ino;
+  add32 fblock;
+  add32 0x43465321 (* "CFS!" *);
+  Buffer.contents e
+
+let crypt_block t fh fblock data =
+  charge t (String.length data);
+  Dcrypto.Chacha20.crypt ~key:t.key ~nonce:(block_nonce fh fblock) data
+
+let create_file t ~dir name =
+  let fh, _ = Nfs.Client.create_file t.nfs dir (encrypt_name t name) Proto.sattr_none in
+  fh
+
+let mkdir t ~dir name =
+  let fh, _ = Nfs.Client.mkdir t.nfs dir (encrypt_name t name) Proto.sattr_none in
+  fh
+
+let lookup t ~dir name = Nfs.Client.lookup t.nfs dir (encrypt_name t name)
+let remove t ~dir name = Nfs.Client.remove t.nfs dir (encrypt_name t name)
+
+let write_file t fh data =
+  let bs = Proto.max_data in
+  let len = String.length data in
+  let rec go off fblock =
+    if off < len then begin
+      let n = min bs (len - off) in
+      let chunk = crypt_block t fh fblock (String.sub data off n) in
+      ignore (Nfs.Client.write t.nfs fh ~off chunk);
+      go (off + n) (fblock + 1)
+    end
+  in
+  go 0 0
+
+let read_file t fh =
+  let bs = Proto.max_data in
+  let buf = Buffer.create bs in
+  let rec go off fblock =
+    let _, data = Nfs.Client.read t.nfs fh ~off ~count:bs in
+    if data <> "" then begin
+      Buffer.add_string buf (crypt_block t fh fblock data);
+      if String.length data = bs then go (off + bs) (fblock + 1)
+    end
+  in
+  go 0 0;
+  Buffer.contents buf
+
+let readdir t fh =
+  Nfs.Client.readdir t.nfs fh
+  |> List.filter_map (fun (name, _) ->
+         if name = "." || name = ".." then None
+         else
+           match decrypt_name t name with
+           | plain -> Some plain
+           | exception Invalid_argument _ -> None)

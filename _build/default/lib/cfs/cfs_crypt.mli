@@ -1,0 +1,35 @@
+(** An encrypting CFS layer (Blaze '93 style), as an extension beyond
+    the paper's CFS-NE baseline: client-side encryption of file names
+    and contents on top of any NFS mount. The paper's DisCFS stores
+    files in cleartext on a trusted server and notes that "CFS-like
+    encryption mechanisms may still be used on top of DisCFS" — this
+    module is that layer.
+
+    Names are encrypted deterministically (same name, same
+    ciphertext) so LOOKUP keeps working, faithful to CFS's design and
+    to its known leakage. Contents are encrypted per 8 KB block with
+    a block-number nonce. Cipher CPU time is charged to the virtual
+    clock. *)
+
+type t
+
+val create : nfs:Nfs.Client.t -> clock:Simnet.Clock.t -> cost:Simnet.Cost.t -> key:string -> t
+(** [key] must be 32 bytes. *)
+
+val encrypt_name : t -> string -> string
+val decrypt_name : t -> string -> string
+(** Raises [Invalid_argument] on names this layer did not produce. *)
+
+val create_file : t -> dir:Nfs.Proto.fh -> string -> Nfs.Proto.fh
+val mkdir : t -> dir:Nfs.Proto.fh -> string -> Nfs.Proto.fh
+val lookup : t -> dir:Nfs.Proto.fh -> string -> Nfs.Proto.fh * Nfs.Proto.fattr
+val remove : t -> dir:Nfs.Proto.fh -> string -> unit
+
+val write_file : t -> Nfs.Proto.fh -> string -> unit
+(** Encrypt and write whole contents from offset 0. *)
+
+val read_file : t -> Nfs.Proto.fh -> string
+(** Read to EOF and decrypt. *)
+
+val readdir : t -> Nfs.Proto.fh -> string list
+(** Decrypted names, ["."]/[".."] excluded. *)

@@ -1,0 +1,1 @@
+lib/core/client.ml: Dcrypto Ipsec Keynote Nfs Oncrpc Server Xdr

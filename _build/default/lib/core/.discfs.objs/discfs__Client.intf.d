@@ -1,0 +1,1 @@
+lib/core/client.mli: Dcrypto Ipsec Keynote Nfs Oncrpc Server Simnet

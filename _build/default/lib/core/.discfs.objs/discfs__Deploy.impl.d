@@ -1,0 +1,1 @@
+lib/core/deploy.ml: Client Dcrypto Ffs Keynote Oncrpc Server Simnet

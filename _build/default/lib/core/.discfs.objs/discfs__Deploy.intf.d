@@ -1,0 +1,1 @@
+lib/core/deploy.mli: Client Dcrypto Ffs Ipsec Keynote Oncrpc Server Simnet

@@ -1,0 +1,1 @@
+lib/core/server.ml: Dcrypto Ffs Keynote List Nfs Oncrpc Policy_cache Printf Simnet String Xdr

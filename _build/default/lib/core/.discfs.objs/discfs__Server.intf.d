@@ -1,0 +1,1 @@
+lib/core/server.mli: Dcrypto Ffs Keynote Nfs Oncrpc Policy_cache

@@ -1,0 +1,79 @@
+module Rpc = Oncrpc.Rpc
+module Proto = Nfs.Proto
+module Assertion = Keynote.Assertion
+
+exception Discfs_error of string
+
+type t = {
+  nfs : Nfs.Client.t;
+  rpc : Rpc.client;
+  root : Proto.fh;
+  principal : string;
+  server_principal : string;
+}
+
+let attach ~link ~rpc ~server ~identity ~drbg ?(uid = 1000) ?(path = "/") ?cipher () =
+  (* IKE: authenticate both ends, derive the ESP channel. The server
+     learns our public key and associates it with this connection. *)
+  let client_ep, server_ep =
+    Ipsec.Ike.establish ~link ~drbg ~initiator:identity
+      ~responder:(Server.server_key server) ?cipher ()
+  in
+  let channel = Ipsec.Ike.rpc_channel ~client:client_ep ~server:server_ep in
+  let rpc_client = Rpc.connect ~link ~channel ~peer:server_ep.Ipsec.Ike.peer ~uid rpc in
+  let nfs = Nfs.Client.create rpc_client in
+  let root = Nfs.Client.mount nfs path in
+  {
+    nfs;
+    rpc = rpc_client;
+    root;
+    principal = Assertion.principal_of_pub identity.Dcrypto.Dsa.pub;
+    server_principal = client_ep.Ipsec.Ike.peer;
+  }
+
+let nfs t = t.nfs
+let root t = t.root
+let principal t = t.principal
+let server_principal t = t.server_principal
+
+let discfs_call t ~proc body =
+  let e = Xdr.Enc.create () in
+  body e;
+  Rpc.call t.rpc ~prog:Server.discfs_prog ~vers:Server.discfs_vers ~proc (Xdr.Enc.to_string e)
+
+let submit_credential_text t text =
+  let reply = discfs_call t ~proc:Server.discfsproc_submit (fun e -> Xdr.Enc.string e text) in
+  let d = Xdr.Dec.of_string reply in
+  if Xdr.Dec.uint32 d = 0 then Ok (Xdr.Dec.string d) else Error (Xdr.Dec.string d)
+
+let submit_credential t cred = submit_credential_text t (Assertion.to_text cred)
+
+let make_node proc t ~dir name ?(perms = 0o644) () =
+  let reply =
+    discfs_call t ~proc (fun e ->
+        Proto.fh_encode e dir;
+        Xdr.Enc.string e name;
+        Proto.sattr_encode e { Proto.sattr_none with Proto.s_mode = Some perms })
+  in
+  let d = Xdr.Dec.of_string reply in
+  if Xdr.Dec.uint32 d <> 0 then raise (Discfs_error (Xdr.Dec.string d));
+  let fh = Proto.fh_decode d in
+  let attr = Proto.fattr_decode d in
+  let cred_text = Xdr.Dec.string d in
+  Xdr.Dec.expect_end d;
+  (fh, attr, Assertion.parse cred_text)
+
+let create t ~dir name = make_node Server.discfsproc_create t ~dir name
+let mkdir t ~dir name = make_node Server.discfsproc_mkdir t ~dir name
+
+let simple_result reply =
+  let d = Xdr.Dec.of_string reply in
+  if Xdr.Dec.uint32 d = 0 then Ok () else Error (Xdr.Dec.string d)
+
+let revoke_credential t ~fingerprint =
+  simple_result
+    (discfs_call t ~proc:Server.discfsproc_revoke_cred (fun e -> Xdr.Enc.string e fingerprint))
+
+let revoke_key t ~principal =
+  simple_result
+    (discfs_call t ~proc:Server.discfsproc_revoke_key (fun e -> Xdr.Enc.string e principal))

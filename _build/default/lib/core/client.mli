@@ -1,0 +1,49 @@
+(** The DisCFS client: the paper's modified [cattach] plus the
+    credential-submission utility.
+
+    {!attach} runs the IKE exchange with the server (binding the
+    user's public key to the connection), mounts the exported
+    directory over NFS-in-ESP, and returns a handle carrying both the
+    plain NFS stubs and the DisCFS-specific procedures. *)
+
+type t
+
+val attach :
+  link:Simnet.Link.t ->
+  rpc:Oncrpc.Rpc.server ->
+  server:Server.t ->
+  identity:Dcrypto.Dsa.private_key ->
+  drbg:Dcrypto.Drbg.t ->
+  ?uid:int ->
+  ?path:string ->
+  ?cipher:Ipsec.Sa.cipher ->
+  unit ->
+  t
+(** [uid] is the unix-style userid presented at attach time (no local
+    significance on the server); [path] selects the exported subtree
+    (default ["/"]). *)
+
+val nfs : t -> Nfs.Client.t
+val root : t -> Nfs.Proto.fh
+val principal : t -> string
+(** This client's own key, in credential form. *)
+
+val server_principal : t -> string
+
+val submit_credential : t -> Keynote.Assertion.t -> (string, string) result
+(** Submit over RPC; [Ok fingerprint] on success. *)
+
+val submit_credential_text : t -> string -> (string, string) result
+
+val create : t -> dir:Nfs.Proto.fh -> string -> ?perms:int ->
+  unit -> Nfs.Proto.fh * Nfs.Proto.fattr * Keynote.Assertion.t
+(** The DisCFS create procedure: makes the file and returns a fresh
+    RWX credential for it issued to this client (paper §5). *)
+
+val mkdir : t -> dir:Nfs.Proto.fh -> string -> ?perms:int ->
+  unit -> Nfs.Proto.fh * Nfs.Proto.fattr * Keynote.Assertion.t
+
+val revoke_credential : t -> fingerprint:string -> (unit, string) result
+val revoke_key : t -> principal:string -> (unit, string) result
+
+exception Discfs_error of string

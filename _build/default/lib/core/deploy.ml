@@ -1,0 +1,47 @@
+module Clock = Simnet.Clock
+module Stats = Simnet.Stats
+module Link = Simnet.Link
+module Rpc = Oncrpc.Rpc
+module Drbg = Dcrypto.Drbg
+module Dsa = Dcrypto.Dsa
+module Assertion = Keynote.Assertion
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  link : Link.t;
+  fs : Ffs.Fs.t;
+  rpc : Rpc.server;
+  server : Server.t;
+  admin : Dsa.private_key;
+  drbg : Drbg.t;
+}
+
+let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
+    ?(ninodes = 8192) ?(cache_size = 128) ?hour ?strict_handles ?(seed = "discfs-deploy") () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let link = Link.create ~clock ~cost ~stats in
+  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  let fs = Ffs.Fs.create ~dev ~ninodes in
+  let drbg = Drbg.create ~seed in
+  let admin = Dsa.generate_key drbg in
+  let server_key = Dsa.generate_key drbg in
+  let server =
+    Server.create ~fs ~admin:admin.Dsa.pub ~server_key ~drbg:(Drbg.fork drbg ~label:"server")
+      ~cache_size ?hour ?strict_handles ()
+  in
+  let rpc = Rpc.server ~clock ~cost ~stats in
+  Server.attach_rpc server rpc;
+  { clock; stats; link; fs; rpc; server; admin; drbg }
+
+let new_identity t = Dsa.generate_key t.drbg
+
+let attach t ~identity ?uid ?path ?cipher () =
+  Client.attach ~link:t.link ~rpc:t.rpc ~server:t.server ~identity
+    ~drbg:(Drbg.fork t.drbg ~label:"attach") ?uid ?path ?cipher ()
+
+let admin_principal t = Assertion.principal_of_pub t.admin.Dsa.pub
+
+let admin_issue t ~licensees ~conditions ?comment () =
+  Assertion.issue ~key:t.admin ~drbg:t.drbg ?comment ~licensees ~conditions ()

@@ -1,0 +1,50 @@
+(** One-call setup of a complete DisCFS testbed: virtual clock, disk,
+    filesystem, link, RPC server and a DisCFS server with an
+    administrator identity — the simulated equivalent of the paper's
+    Alice (server) / Bob (client) machines (Figure 6). Used by the
+    examples, tests and the benchmark harness. *)
+
+type t = {
+  clock : Simnet.Clock.t;
+  stats : Simnet.Stats.t;
+  link : Simnet.Link.t;
+  fs : Ffs.Fs.t;
+  rpc : Oncrpc.Rpc.server;
+  server : Server.t;
+  admin : Dcrypto.Dsa.private_key;
+  drbg : Dcrypto.Drbg.t;
+}
+
+val make :
+  ?cost:Simnet.Cost.t ->
+  ?nblocks:int ->
+  ?block_size:int ->
+  ?ninodes:int ->
+  ?cache_size:int ->
+  ?hour:(unit -> int) ->
+  ?strict_handles:bool ->
+  ?seed:string ->
+  unit ->
+  t
+(** Defaults: 2001-era cost model, 8 K blocks, 16 Ki blocks (128 MB
+    volume), 8 Ki inodes, cache of 128, seed ["discfs-deploy"].
+    Deterministic: same seed, same keys, same results. *)
+
+val new_identity : t -> Dcrypto.Dsa.private_key
+(** Generate a fresh user key pair from the testbed's DRBG. *)
+
+val attach :
+  t ->
+  identity:Dcrypto.Dsa.private_key ->
+  ?uid:int ->
+  ?path:string ->
+  ?cipher:Ipsec.Sa.cipher ->
+  unit ->
+  Client.t
+(** IKE + mount, as the paper's cattach. *)
+
+val admin_principal : t -> string
+
+val admin_issue :
+  t -> licensees:string -> conditions:string -> ?comment:string -> unit -> Keynote.Assertion.t
+(** Issue a credential signed by the administrator's key. *)

@@ -1,0 +1,46 @@
+type t = {
+  capacity : int;
+  entries : (string * int, int * int ref) Hashtbl.t; (* key -> (level, last-use stamp) *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size =
+  if size < 0 then invalid_arg "Policy_cache.create: negative size";
+  { capacity = size; entries = Hashtbl.create (max 16 size); tick = 0; hits = 0; misses = 0 }
+
+let touch t = t.tick <- t.tick + 1; t.tick
+
+let find t ~peer ~ino =
+  match Hashtbl.find_opt t.entries (peer, ino) with
+  | Some (level, stamp) ->
+    t.hits <- t.hits + 1;
+    stamp := touch t;
+    Some level
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key (_, stamp) ->
+      match !victim with
+      | Some (_, best) when !stamp >= best -> ()
+      | _ -> victim := Some (key, !stamp))
+    t.entries;
+  match !victim with Some (key, _) -> Hashtbl.remove t.entries key | None -> ()
+
+let add t ~peer ~ino level =
+  if t.capacity > 0 then begin
+    if (not (Hashtbl.mem t.entries (peer, ino))) && Hashtbl.length t.entries >= t.capacity then
+      evict_lru t;
+    Hashtbl.replace t.entries (peer, ino) (level, ref (touch t))
+  end
+
+let flush t = Hashtbl.reset t.entries
+let hits t = t.hits
+let misses t = t.misses
+let size t = Hashtbl.length t.entries
+let capacity t = t.capacity

@@ -1,0 +1,24 @@
+(** LRU cache of KeyNote policy results, keyed by (peer principal,
+    file handle). The paper's prototype uses exactly this cache
+    ("a cache of requested operations and policy results", §5) with
+    128 entries in the evaluation (§6); without it every NFS
+    operation pays a full compliance check. *)
+
+type t
+
+val create : size:int -> t
+(** [size = 0] disables caching (every lookup misses). *)
+
+val find : t -> peer:string -> ino:int -> int option
+(** Cached compliance level, refreshing LRU order. *)
+
+val add : t -> peer:string -> ino:int -> int -> unit
+(** Insert, evicting the least recently used entry if full. *)
+
+val flush : t -> unit
+(** Drop everything (called when the credential set changes). *)
+
+val hits : t -> int
+val misses : t -> int
+val size : t -> int
+val capacity : t -> int

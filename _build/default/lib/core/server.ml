@@ -1,0 +1,393 @@
+module Rpc = Oncrpc.Rpc
+module Clock = Simnet.Clock
+module Cost = Simnet.Cost
+module Stats = Simnet.Stats
+module Assertion = Keynote.Assertion
+module Session = Keynote.Session
+module Compliance = Keynote.Compliance
+module Proto = Nfs.Proto
+
+let values = [ "false"; "X"; "W"; "WX"; "R"; "RX"; "RW"; "RWX" ]
+
+let discfs_prog = 391063
+let discfs_vers = 1
+let discfsproc_submit = 1
+let discfsproc_create = 2
+let discfsproc_mkdir = 3
+let discfsproc_revoke_cred = 4
+let discfsproc_revoke_key = 5
+
+type audit_entry = {
+  au_time : float;
+  au_peer : string;
+  au_op : string;
+  au_ino : int;
+  au_value : string;
+  au_granted : bool;
+}
+
+type t = {
+  fs : Ffs.Fs.t;
+  nfs : Nfs.Server.t;
+  session : Session.t;
+  cache : Policy_cache.t;
+  server_key : Dcrypto.Dsa.private_key;
+  drbg : Dcrypto.Drbg.t;
+  hour : unit -> int;
+  strict_handles : bool;
+  mutable revoked_keys : string list;
+  mutable audit : audit_entry list;
+  mutable audit_enabled : bool;
+}
+
+let clock t = Ffs.Fs.clock t.fs
+let stats t = Ffs.Fs.stats t.fs
+let cost () = Simnet.Cost.default
+
+let nfs t = t.nfs
+let session t = t.session
+let cache t = t.cache
+let server_principal t = Assertion.principal_of_pub t.server_key.Dcrypto.Dsa.pub
+let server_key t = t.server_key
+let audit_log t = t.audit
+let set_audit t v = t.audit_enabled <- v
+
+let short p = if String.length p > 24 then String.sub p 0 21 ^ "..." else p
+
+(* --- KeyNote integration ------------------------------------------- *)
+
+let attributes t ~ino =
+  [
+    ("app_domain", "DisCFS");
+    ("HANDLE", string_of_int ino);
+    ("GENERATION", string_of_int (try Ffs.Fs.generation t.fs ino with Ffs.Fs.Error _ -> -1));
+    ("PATH", (match Ffs.Fs.path_of t.fs ino with Some p -> p | None -> ""));
+    ("hour", string_of_int (t.hour ()));
+  ]
+
+let is_revoked t principal =
+  List.exists (Keynote.Ast.principal_equal principal) t.revoked_keys
+
+let query_level t ~peer ~ino =
+  let c = cost () in
+  if is_revoked t peer then begin
+    (* A key reported bad has no authority at all, including as a
+       requester on credentials that license it. *)
+    Clock.advance (clock t) c.Cost.keynote_cached;
+    0
+  end
+  else
+  match Policy_cache.find t.cache ~peer ~ino with
+  | Some level ->
+    Clock.advance (clock t) c.Cost.keynote_cached;
+    Stats.incr (stats t) "keynote.cache_hits";
+    level
+  | None ->
+    Clock.advance (clock t) c.Cost.keynote_query;
+    Stats.incr (stats t) "keynote.queries";
+    let result = Session.query t.session ~requesters:[ peer ] ~attributes:(attributes t ~ino) in
+    Policy_cache.add t.cache ~peer ~ino result.Compliance.level;
+    result.Compliance.level
+
+let audit_cap = 10_000
+
+let record t ~peer ~op ~ino ~level ~granted =
+  if t.audit_enabled then begin
+    (* Bound the in-memory trail; a production server would roll it
+       to stable storage instead of truncating. *)
+    if List.length t.audit >= audit_cap then
+      t.audit <- List.filteri (fun i _ -> i < audit_cap / 2) t.audit;
+    t.audit <-
+      {
+        au_time = Clock.now (clock t);
+        au_peer = short peer;
+        au_op = op;
+        au_ino = ino;
+        au_value = List.nth values level;
+        au_granted = granted;
+      }
+      :: t.audit
+  end
+
+(* Permission bits demanded by each NFS operation (r=4, w=2, x=1).
+   Directory-modifying operations need W on the directory; lookup
+   needs X; reads need R. Getattr and statfs are always allowed —
+   DisCFS instead *presents* attributes according to the caller's
+   credentials, so an unauthorized attach sees mode 000 (paper §5). *)
+let required_bits (op : Nfs.Server.op) =
+  match op with
+  | Nfs.Server.Getattr | Nfs.Server.Statfs -> 0
+  | Nfs.Server.Lookup -> 1
+  | Nfs.Server.Read | Nfs.Server.Readdir | Nfs.Server.Readlink -> 4
+  | Nfs.Server.Write | Nfs.Server.Setattr | Nfs.Server.Create | Nfs.Server.Remove
+  | Nfs.Server.Rename | Nfs.Server.Link | Nfs.Server.Symlink | Nfs.Server.Mkdir
+  | Nfs.Server.Rmdir ->
+    2
+
+(* Namespace changes move files between PATH-based grants, so cached
+   results for other handles may go stale; flush conservatively. *)
+let changes_namespace (op : Nfs.Server.op) =
+  match op with
+  | Nfs.Server.Create | Nfs.Server.Remove | Nfs.Server.Rename | Nfs.Server.Link
+  | Nfs.Server.Symlink | Nfs.Server.Mkdir | Nfs.Server.Rmdir ->
+    true
+  | Nfs.Server.Getattr | Nfs.Server.Statfs | Nfs.Server.Lookup | Nfs.Server.Read
+  | Nfs.Server.Readdir | Nfs.Server.Readlink | Nfs.Server.Write | Nfs.Server.Setattr ->
+    false
+
+let authorize t ~conn ~(fh : Proto.fh) ~op =
+  if changes_namespace op then Policy_cache.flush t.cache;
+  let required = required_bits op in
+  if required = 0 then Ok ()
+  else begin
+    let peer = conn.Rpc.peer in
+    let level = query_level t ~peer ~ino:fh.Proto.ino in
+    let granted = level land required = required in
+    record t ~peer ~op:(Nfs.Server.op_to_string op) ~ino:fh.Proto.ino ~level ~granted;
+    if granted then Ok () else Error Proto.nfserr_acces
+  end
+
+(* Present each file with the permission bits this peer's credentials
+   yield, owned by the uid given at attach time (which has no local
+   significance to the server, paper §5). *)
+let present_attr t ~conn (attr : Proto.fattr) =
+  let level = query_level t ~peer:conn.Rpc.peer ~ino:attr.Proto.fileid in
+  let type_bits = attr.Proto.mode land lnot 0o7777 in
+  {
+    attr with
+    Proto.mode = type_bits lor (level lsl 6) lor (level lsl 3) lor level;
+    uid = conn.Rpc.uid;
+    gid = conn.Rpc.uid;
+  }
+
+(* --- credential management ------------------------------------------ *)
+
+let flush_after_change t = Policy_cache.flush t.cache
+
+let submit_credential t text =
+  let c = cost () in
+  Clock.advance (clock t) c.Cost.credential_verify;
+  Stats.incr (stats t) "discfs.submissions";
+  match Assertion.parse text with
+  | exception Assertion.Parse_error msg -> Error ("parse error: " ^ msg)
+  | a ->
+    if is_revoked t a.Assertion.authorizer then Error "authorizer key has been revoked"
+    else begin
+      match Session.add_credential t.session a with
+      | Ok () ->
+        flush_after_change t;
+        Ok (Assertion.fingerprint a)
+      | Error e -> Error e
+    end
+
+let issue_create_credential t ~peer ~ino ~name =
+  let c = cost () in
+  Clock.advance (clock t) c.Cost.credential_verify (* DSA sign, comparable cost *);
+  Stats.incr (stats t) "discfs.credentials_issued";
+  let conditions =
+    if t.strict_handles then
+      Printf.sprintf
+        "(app_domain == \"DisCFS\") && (HANDLE == \"%d\") && (GENERATION == \"%d\") -> \"RWX\";"
+        ino
+        (Ffs.Fs.generation t.fs ino)
+    else
+      Printf.sprintf "(app_domain == \"DisCFS\") && (HANDLE == \"%d\") -> \"RWX\";" ino
+  in
+  let cred =
+    Assertion.issue ~key:t.server_key ~drbg:t.drbg ~comment:name
+      ~licensees:(Printf.sprintf "\"%s\"" peer)
+      ~conditions ()
+  in
+  (match Session.add_credential t.session cred with
+  | Ok () -> ()
+  | Error e -> failwith ("issued credential rejected by own session: " ^ e));
+  flush_after_change t;
+  cred
+
+let revoke_credential t ~peer ~fingerprint =
+  let creds = Session.credentials t.session in
+  match List.find_opt (fun a -> Assertion.fingerprint a = fingerprint) creds with
+  | None -> Error "no such credential"
+  | Some a ->
+    let authorizer = a.Assertion.authorizer in
+    if
+      Keynote.Ast.principal_equal peer authorizer
+      || Keynote.Ast.principal_equal peer (server_principal t)
+    then begin
+      ignore (Session.remove_credential t.session ~fingerprint);
+      flush_after_change t;
+      Ok ()
+    end
+    else Error "only the credential's authorizer may revoke it"
+
+let revoke_key t ~peer ~principal ~admin_principal =
+  if not (Keynote.Ast.principal_equal peer admin_principal) then
+    Error "only the administrator may revoke keys"
+  else begin
+    t.revoked_keys <- principal :: t.revoked_keys;
+    (* Purge credentials authored by the revoked key. *)
+    List.iter
+      (fun a ->
+        if Keynote.Ast.principal_equal a.Assertion.authorizer principal then
+          ignore
+            (Session.remove_credential t.session ~fingerprint:(Assertion.fingerprint a)))
+      (Session.credentials t.session);
+    flush_after_change t;
+    Ok ()
+  end
+
+(* --- construction ---------------------------------------------------- *)
+
+let create ~fs ~admin ~server_key ~drbg ?(cache_size = 128) ?(extra_policy = [])
+    ?hour ?(audit_enabled = true) ?(strict_handles = false) () =
+  let clock = Ffs.Fs.clock fs in
+  let hour =
+    match hour with
+    | Some f -> f
+    | None -> fun () -> int_of_float (Clock.now clock /. 3600.) mod 24
+  in
+  let admin_p = Assertion.principal_of_pub admin in
+  let server_p = Assertion.principal_of_pub server_key.Dcrypto.Dsa.pub in
+  let policy =
+    [
+      Assertion.policy ~licensees:(Printf.sprintf "\"%s\"" admin_p) ~conditions:"true;" ();
+      Assertion.policy
+        ~licensees:(Printf.sprintf "\"%s\"" server_p)
+        ~conditions:"app_domain == \"DisCFS\";" ();
+    ]
+    @ extra_policy
+  in
+  let session = Session.create ~values ~policy () in
+  let t =
+    {
+      fs;
+      nfs = Nfs.Server.create ~fs ();
+      session;
+      cache = Policy_cache.create ~size:cache_size;
+      server_key;
+      drbg;
+      hour;
+      strict_handles;
+      revoked_keys = [];
+      audit = [];
+      audit_enabled;
+    }
+  in
+  Nfs.Server.set_hooks t.nfs
+    {
+      Nfs.Server.authorize = (fun ~conn ~fh ~op -> authorize t ~conn ~fh ~op);
+      present_attr = (fun ~conn attr -> present_attr t ~conn attr);
+      rights = (fun ~conn ~fh -> query_level t ~peer:conn.Rpc.peer ~ino:fh.Proto.ino);
+    };
+  t
+
+(* --- the DisCFS RPC program ------------------------------------------ *)
+
+let ok_reply body =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 0;
+  body e;
+  Ok (Xdr.Enc.to_string e)
+
+let err_reply msg =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 1;
+  Xdr.Enc.string e msg;
+  Ok (Xdr.Enc.to_string e)
+
+let handle_discfs t admin_principal ~conn ~proc ~args =
+  let d = Xdr.Dec.of_string args in
+  if proc = 0 then Ok ""
+  else if proc = discfsproc_submit then begin
+    let text = Xdr.Dec.string d in
+    match submit_credential t text with
+    | Ok fp -> ok_reply (fun e -> Xdr.Enc.string e fp)
+    | Error msg -> err_reply msg
+  end
+  else if proc = discfsproc_create || proc = discfsproc_mkdir then begin
+    let fh = Proto.fh_decode d in
+    let name = Xdr.Dec.string d in
+    let sattr = Proto.sattr_decode d in
+    match authorize t ~conn ~fh ~op:Nfs.Server.Create with
+    | Error status -> err_reply (Proto.status_to_string status)
+    | Ok () -> (
+      let perms = match sattr.Proto.s_mode with Some m -> m land 0o7777 | None -> 0o644 in
+      let make = if proc = discfsproc_create then Ffs.Fs.create_file else Ffs.Fs.mkdir in
+      match make t.fs fh.Proto.ino name ~perms ~uid:conn.Rpc.uid with
+      | exception Ffs.Fs.Error (e, _) -> err_reply (Ffs.Fs.error_to_string e)
+      | ino ->
+        let cred = issue_create_credential t ~peer:conn.Rpc.peer ~ino ~name in
+        ok_reply (fun e ->
+            Proto.fh_encode e { Proto.ino; gen = Ffs.Fs.generation t.fs ino };
+            Proto.fattr_encode e (Nfs.Server.fattr_of_ino t.nfs ino);
+            Xdr.Enc.string e (Assertion.to_text cred)))
+  end
+  else if proc = discfsproc_revoke_cred then begin
+    let fingerprint = Xdr.Dec.string d in
+    match revoke_credential t ~peer:conn.Rpc.peer ~fingerprint with
+    | Ok () -> ok_reply (fun _ -> ())
+    | Error msg -> err_reply msg
+  end
+  else if proc = discfsproc_revoke_key then begin
+    let principal = Xdr.Dec.string d in
+    match revoke_key t ~peer:conn.Rpc.peer ~principal ~admin_principal with
+    | Ok () -> ok_reply (fun _ -> ())
+    | Error msg -> err_reply msg
+  end
+  else Error Rpc.Proc_unavail
+
+let attach_rpc t rpc_server =
+  Nfs.Server.attach t.nfs rpc_server;
+  let admin_principal =
+    (* The first policy assertion names the administrator. *)
+    match Session.policy t.session with
+    | first :: _ -> (
+      match first.Assertion.licensees with
+      | Some (Keynote.Ast.Principal p) -> p
+      | _ -> "")
+    | [] -> ""
+  in
+  Rpc.register rpc_server ~prog:discfs_prog ~vers:discfs_vers (fun ~conn ~proc ~args ->
+      handle_discfs t admin_principal ~conn ~proc ~args)
+
+(* --- persistence ------------------------------------------------------ *)
+
+let save_state t =
+  let e = Xdr.Enc.create () in
+  let creds = Session.credentials t.session in
+  Xdr.Enc.uint32 e (List.length creds);
+  List.iter (fun a -> Xdr.Enc.string e (Assertion.to_text a)) creds;
+  Xdr.Enc.uint32 e (List.length t.revoked_keys);
+  List.iter (fun k -> Xdr.Enc.string e k) t.revoked_keys;
+  Xdr.Enc.to_string e
+
+let load_state t data =
+  match
+    let d = Xdr.Dec.of_string data in
+    let ncreds = Xdr.Dec.uint32 d in
+    let creds = List.init ncreds (fun _ -> Xdr.Dec.string d) in
+    let nrev = Xdr.Dec.uint32 d in
+    let revoked = List.init nrev (fun _ -> Xdr.Dec.string d) in
+    Xdr.Dec.expect_end d;
+    (creds, revoked)
+  with
+  | exception Xdr.Decode_error m -> Error ("corrupt state: " ^ m)
+  | creds, revoked ->
+    t.revoked_keys <- revoked;
+    let admitted = ref 0 in
+    let failures = ref [] in
+    List.iter
+      (fun text ->
+        match Assertion.parse text with
+        | exception Assertion.Parse_error m -> failures := m :: !failures
+        | a ->
+          if is_revoked t a.Assertion.authorizer then ()
+          else begin
+            match Session.add_credential t.session a with
+            | Ok () -> incr admitted
+            | Error m -> failures := m :: !failures
+          end)
+      creds;
+    flush_after_change t;
+    if !failures = [] then Ok !admitted
+    else Error (String.concat "; " !failures)

@@ -1,0 +1,111 @@
+(** The DisCFS server: a user-level NFS server whose access control is
+    entirely credential-based (paper §4-5).
+
+    - The channel-authenticated public key of each client (from the
+      IKE exchange) is the requesting principal for every NFS call.
+    - A persistent KeyNote {!Keynote.Session} holds the local policy
+      (trusting the administrator's and the server's own keys) plus
+      every credential submitted over RPC.
+    - Each operation maps to required permission bits; the compliance
+      value returned by KeyNote, drawn from the ordered set [false <
+      X < W < WX < R < RX < RW < RWX], is interpreted as the octal
+      rwx bits (paper §5).
+    - An LRU {!Policy_cache} memoises query results; credentials are
+      DSA-verified once at submission.
+    - The extra DisCFS RPC program provides credential submission,
+      the create/mkdir variants that return a fresh credential to the
+      creator, and revocation of credentials or keys. *)
+
+val values : string list
+(** [["false"; "X"; "W"; "WX"; "R"; "RX"; "RW"; "RWX"]] — index =
+    octal permission bits. *)
+
+val discfs_prog : int
+val discfs_vers : int
+
+(** DisCFS program procedures. *)
+
+val discfsproc_submit : int
+val discfsproc_create : int
+val discfsproc_mkdir : int
+val discfsproc_revoke_cred : int
+val discfsproc_revoke_key : int
+
+type audit_entry = {
+  au_time : float; (** virtual time of the decision *)
+  au_peer : string; (** requesting principal (shortened) *)
+  au_op : string;
+  au_ino : int;
+  au_value : string; (** compliance value that applied *)
+  au_granted : bool;
+}
+
+type t
+
+val create :
+  fs:Ffs.Fs.t ->
+  admin:Dcrypto.Dsa.public ->
+  server_key:Dcrypto.Dsa.private_key ->
+  drbg:Dcrypto.Drbg.t ->
+  ?cache_size:int ->
+  ?extra_policy:Keynote.Assertion.t list ->
+  ?hour:(unit -> int) ->
+  ?audit_enabled:bool ->
+  ?strict_handles:bool ->
+  unit ->
+  t
+(** [cache_size] defaults to 128 (the paper's evaluation setting).
+    [hour] supplies the [hour] action attribute for time-of-day
+    policies; it defaults to the virtual clock.
+
+    [strict_handles] makes server-issued credentials bind the
+    inode's generation number as well as its inode number. The
+    paper's prototype identifies files by bare inode and notes that
+    "the handle specifics need to be changed in the future since
+    inodes are not suitable as [a] globally unique identifier"; with
+    the default ([false], paper-faithful) a credential for a deleted
+    file grants access to whatever later reuses the inode. With
+    [strict_handles:true] the 4.4BSD-style inode+generation handle
+    closes that hole. *)
+
+val nfs : t -> Nfs.Server.t
+val session : t -> Keynote.Session.t
+val cache : t -> Policy_cache.t
+val server_principal : t -> string
+
+val server_key : t -> Dcrypto.Dsa.private_key
+(** The server's own signing key. Exposed because client and server
+    run in one process here: the client's {!Client.attach} needs it
+    to play the responder side of the IKE exchange. *)
+
+val audit_log : t -> audit_entry list
+(** Most recent first. *)
+
+val set_audit : t -> bool -> unit
+
+val attach_rpc : t -> Oncrpc.Rpc.server -> unit
+(** Register NFS (100003v2), mount (100005v1) and the DisCFS program
+    on an RPC server. *)
+
+val query_level : t -> peer:string -> ino:int -> int
+(** The (cached) compliance level for a principal on a handle;
+    exposed for tests and the benchmark harness. *)
+
+val issue_create_credential : t -> peer:string -> ino:int -> name:string -> Keynote.Assertion.t
+(** The credential the create/mkdir procedures hand back: RWX on the
+    new handle, licensed to the creating peer, signed by the server
+    key. Also admitted to the server's own session. *)
+
+(** {1 Persistence}
+
+    Together with {!Ffs.Fs.save}/{!Ffs.Fs.load}, these let a DisCFS
+    server restart without losing the credential session — the only
+    state the paper's design keeps beyond the files themselves. *)
+
+val save_state : t -> string
+(** Serialize the submitted credentials and the revoked-key list. *)
+
+val load_state : t -> string -> (int, string) result
+(** Restore saved state into a (freshly created) server: re-verifies
+    and admits each credential, restores revocations, flushes the
+    cache. Returns the number of credentials admitted. *)

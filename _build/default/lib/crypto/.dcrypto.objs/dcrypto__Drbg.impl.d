@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Bignum Buffer Hmac String

@@ -1,0 +1,1 @@
+lib/crypto/dsa.ml: Bignum Buffer Char Drbg Hexcodec Sha1 String

@@ -1,0 +1,1 @@
+lib/crypto/hexcodec.ml: Buffer Char String

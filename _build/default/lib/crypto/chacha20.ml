@@ -1,0 +1,80 @@
+let key_size = 32
+let nonce_size = 12
+let m32 x = x land 0xffffffff
+let rotl32 x n = m32 ((x lsl n) lor (x lsr (32 - n)))
+
+let word_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let quarter st a b c d =
+  st.(a) <- m32 (st.(a) + st.(b));
+  st.(d) <- rotl32 (st.(d) lxor st.(a)) 16;
+  st.(c) <- m32 (st.(c) + st.(d));
+  st.(b) <- rotl32 (st.(b) lxor st.(c)) 12;
+  st.(a) <- m32 (st.(a) + st.(b));
+  st.(d) <- rotl32 (st.(d) lxor st.(a)) 8;
+  st.(c) <- m32 (st.(c) + st.(d));
+  st.(b) <- rotl32 (st.(b) lxor st.(c)) 7
+
+let init_state ~key ~nonce ~counter =
+  if String.length key <> key_size then invalid_arg "Chacha20: key must be 32 bytes";
+  if String.length nonce <> nonce_size then invalid_arg "Chacha20: nonce must be 12 bytes";
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- word_le key (i * 4)
+  done;
+  st.(12) <- m32 counter;
+  for i = 0 to 2 do
+    st.(13 + i) <- word_le nonce (i * 4)
+  done;
+  st
+
+let block_into ~state out off =
+  let st = Array.copy state in
+  for _ = 1 to 10 do
+    quarter st 0 4 8 12;
+    quarter st 1 5 9 13;
+    quarter st 2 6 10 14;
+    quarter st 3 7 11 15;
+    quarter st 0 5 10 15;
+    quarter st 1 6 11 12;
+    quarter st 2 7 8 13;
+    quarter st 3 4 9 14
+  done;
+  for i = 0 to 15 do
+    let w = m32 (st.(i) + state.(i)) in
+    Bytes.set out (off + (i * 4)) (Char.chr (w land 0xff));
+    Bytes.set out (off + (i * 4) + 1) (Char.chr ((w lsr 8) land 0xff));
+    Bytes.set out (off + (i * 4) + 2) (Char.chr ((w lsr 16) land 0xff));
+    Bytes.set out (off + (i * 4) + 3) (Char.chr ((w lsr 24) land 0xff))
+  done
+
+let block ~key ~nonce ~counter =
+  let state = init_state ~key ~nonce ~counter in
+  let out = Bytes.create 64 in
+  block_into ~state out 0;
+  Bytes.to_string out
+
+let crypt ~key ~nonce ?(counter = 1) data =
+  let len = String.length data in
+  let out = Bytes.of_string data in
+  let ks = Bytes.create 64 in
+  let nblocks = (len + 63) / 64 in
+  for b = 0 to nblocks - 1 do
+    let state = init_state ~key ~nonce ~counter:(counter + b) in
+    block_into ~state ks 0;
+    let base = b * 64 in
+    let n = min 64 (len - base) in
+    for i = 0 to n - 1 do
+      Bytes.set out (base + i)
+        (Char.chr (Char.code (Bytes.get out (base + i)) lxor Char.code (Bytes.get ks i)))
+    done
+  done;
+  Bytes.to_string out

@@ -1,0 +1,17 @@
+(** ChaCha20 stream cipher (RFC 8439). Used as the ESP transform in
+    the simulated IPsec stack (stand-in for the paper's kernel ESP). *)
+
+val key_size : int
+(** 32 bytes. *)
+
+val nonce_size : int
+(** 12 bytes. *)
+
+val crypt : key:string -> nonce:string -> ?counter:int -> string -> string
+(** [crypt ~key ~nonce data] XORs [data] with the ChaCha20 keystream.
+    Encryption and decryption are the same operation. Raises
+    [Invalid_argument] on wrong key or nonce size. *)
+
+val block : key:string -> nonce:string -> counter:int -> string
+(** One 64-byte keystream block (exposed for Poly1305 key generation
+    and for tests against the RFC vectors). *)

@@ -1,0 +1,203 @@
+(* DES (FIPS 46-3). 64-bit blocks are carried as (hi, lo) pairs of
+   32-bit native ints; subkeys and the Feistel path are at most 48
+   bits and fit a single native int. Tables use the standard 1-based
+   bit numbering of the FIPS document (bit 1 = most significant). *)
+
+let initial_permutation =
+  [| 58; 50; 42; 34; 26; 18; 10; 2; 60; 52; 44; 36; 28; 20; 12; 4;
+     62; 54; 46; 38; 30; 22; 14; 6; 64; 56; 48; 40; 32; 24; 16; 8;
+     57; 49; 41; 33; 25; 17; 9; 1; 59; 51; 43; 35; 27; 19; 11; 3;
+     61; 53; 45; 37; 29; 21; 13; 5; 63; 55; 47; 39; 31; 23; 15; 7 |]
+
+let final_permutation =
+  [| 40; 8; 48; 16; 56; 24; 64; 32; 39; 7; 47; 15; 55; 23; 63; 31;
+     38; 6; 46; 14; 54; 22; 62; 30; 37; 5; 45; 13; 53; 21; 61; 29;
+     36; 4; 44; 12; 52; 20; 60; 28; 35; 3; 43; 11; 51; 19; 59; 27;
+     34; 2; 42; 10; 50; 18; 58; 26; 33; 1; 41; 9; 49; 17; 57; 25 |]
+
+let expansion =
+  [| 32; 1; 2; 3; 4; 5; 4; 5; 6; 7; 8; 9; 8; 9; 10; 11; 12; 13;
+     12; 13; 14; 15; 16; 17; 16; 17; 18; 19; 20; 21; 20; 21; 22; 23; 24; 25;
+     24; 25; 26; 27; 28; 29; 28; 29; 30; 31; 32; 1 |]
+
+let p_box =
+  [| 16; 7; 20; 21; 29; 12; 28; 17; 1; 15; 23; 26; 5; 18; 31; 10;
+     2; 8; 24; 14; 32; 27; 3; 9; 19; 13; 30; 6; 22; 11; 4; 25 |]
+
+let pc1 =
+  [| 57; 49; 41; 33; 25; 17; 9; 1; 58; 50; 42; 34; 26; 18;
+     10; 2; 59; 51; 43; 35; 27; 19; 11; 3; 60; 52; 44; 36;
+     63; 55; 47; 39; 31; 23; 15; 7; 62; 54; 46; 38; 30; 22;
+     14; 6; 61; 53; 45; 37; 29; 21; 13; 5; 28; 20; 12; 4 |]
+
+let pc2 =
+  [| 14; 17; 11; 24; 1; 5; 3; 28; 15; 6; 21; 10;
+     23; 19; 12; 4; 26; 8; 16; 7; 27; 20; 13; 2;
+     41; 52; 31; 37; 47; 55; 30; 40; 51; 45; 33; 48;
+     44; 49; 39; 56; 34; 53; 46; 42; 50; 36; 29; 32 |]
+
+let key_shifts = [| 1; 1; 2; 2; 2; 2; 2; 2; 1; 2; 2; 2; 2; 2; 2; 1 |]
+
+let sboxes =
+  [|
+    [| 14;4;13;1;2;15;11;8;3;10;6;12;5;9;0;7;
+       0;15;7;4;14;2;13;1;10;6;12;11;9;5;3;8;
+       4;1;14;8;13;6;2;11;15;12;9;7;3;10;5;0;
+       15;12;8;2;4;9;1;7;5;11;3;14;10;0;6;13 |];
+    [| 15;1;8;14;6;11;3;4;9;7;2;13;12;0;5;10;
+       3;13;4;7;15;2;8;14;12;0;1;10;6;9;11;5;
+       0;14;7;11;10;4;13;1;5;8;12;6;9;3;2;15;
+       13;8;10;1;3;15;4;2;11;6;7;12;0;5;14;9 |];
+    [| 10;0;9;14;6;3;15;5;1;13;12;7;11;4;2;8;
+       13;7;0;9;3;4;6;10;2;8;5;14;12;11;15;1;
+       13;6;4;9;8;15;3;0;11;1;2;12;5;10;14;7;
+       1;10;13;0;6;9;8;7;4;15;14;3;11;5;2;12 |];
+    [| 7;13;14;3;0;6;9;10;1;2;8;5;11;12;4;15;
+       13;8;11;5;6;15;0;3;4;7;2;12;1;10;14;9;
+       10;6;9;0;12;11;7;13;15;1;3;14;5;2;8;4;
+       3;15;0;6;10;1;13;8;9;4;5;11;12;7;2;14 |];
+    [| 2;12;4;1;7;10;11;6;8;5;3;15;13;0;14;9;
+       14;11;2;12;4;7;13;1;5;0;15;10;3;9;8;6;
+       4;2;1;11;10;13;7;8;15;9;12;5;6;3;0;14;
+       11;8;12;7;1;14;2;13;6;15;0;9;10;4;5;3 |];
+    [| 12;1;10;15;9;2;6;8;0;13;3;4;14;7;5;11;
+       10;15;4;2;7;12;9;5;6;1;13;14;0;11;3;8;
+       9;14;15;5;2;8;12;3;7;0;4;10;1;13;11;6;
+       4;3;2;12;9;5;15;10;11;14;1;7;6;0;8;13 |];
+    [| 4;11;2;14;15;0;8;13;3;12;9;7;5;10;6;1;
+       13;0;11;7;4;9;1;10;14;3;5;12;2;15;8;6;
+       1;4;11;13;12;3;7;14;10;15;6;8;0;5;9;2;
+       6;11;13;8;1;4;10;7;9;5;0;15;14;2;3;12 |];
+    [| 13;2;8;4;6;15;11;1;10;9;3;14;5;0;12;7;
+       1;15;13;8;10;3;7;4;12;5;6;11;0;14;9;2;
+       7;11;4;1;9;12;14;2;0;6;10;13;15;3;5;8;
+       2;1;14;7;4;10;8;13;15;12;9;0;3;5;6;11 |];
+  |]
+
+(* Extract bit [pos] (1-based from the MSB of a 64-bit value held as
+   hi/lo 32-bit halves). *)
+let bit64 hi lo pos = if pos <= 32 then (hi lsr (32 - pos)) land 1 else (lo lsr (64 - pos)) land 1
+
+(* Permute (hi, lo) through a table, producing an [n <= 62]-bit int. *)
+let permute_from64 hi lo table =
+  Array.fold_left (fun acc pos -> (acc lsl 1) lor bit64 hi lo pos) 0 table
+
+(* Permute an [in_bits]-wide int through a table. *)
+let permute_int v in_bits table =
+  Array.fold_left (fun acc pos -> (acc lsl 1) lor ((v lsr (in_bits - pos)) land 1)) 0 table
+
+let block_to_halves s =
+  let word off =
+    (Char.code s.[off] lsl 24)
+    lor (Char.code s.[off + 1] lsl 16)
+    lor (Char.code s.[off + 2] lsl 8)
+    lor Char.code s.[off + 3]
+  in
+  (word 0, word 4)
+
+let halves_to_block hi lo =
+  String.init 8 (fun i ->
+      let w = if i < 4 then hi else lo in
+      Char.chr ((w lsr ((3 - (i mod 4)) * 8)) land 0xff))
+
+let rotl28 v n = ((v lsl n) lor (v lsr (28 - n))) land 0xfffffff
+
+let subkeys key =
+  if String.length key <> 8 then invalid_arg "Des: key must be 8 bytes";
+  let khi, klo = block_to_halves key in
+  let cd = permute_from64 khi klo pc1 in
+  let c = ref (cd lsr 28) and d = ref (cd land 0xfffffff) in
+  Array.map
+    (fun shift ->
+      c := rotl28 !c shift;
+      d := rotl28 !d shift;
+      permute_int ((!c lsl 28) lor !d) 56 pc2)
+    key_shifts
+
+let feistel r subkey =
+  let x = permute_int r 32 expansion lxor subkey in
+  let out = ref 0 in
+  for box = 0 to 7 do
+    let six = (x lsr ((7 - box) * 6)) land 0x3f in
+    let row = ((six lsr 4) land 2) lor (six land 1) in
+    let col = (six lsr 1) land 0xf in
+    out := (!out lsl 4) lor sboxes.(box).((row * 16) + col)
+  done;
+  permute_int !out 32 p_box
+
+let crypt_block ~decrypt keys block =
+  if String.length block <> 8 then invalid_arg "Des: block must be 8 bytes";
+  let bhi, blo = block_to_halves block in
+  (* A 64-entry table would overflow the 63-bit native int, so the IP
+     and FP tables are applied as two 32-bit halves. *)
+  let l = ref (permute_from64 bhi blo (Array.sub initial_permutation 0 32)) in
+  let r = ref (permute_from64 bhi blo (Array.sub initial_permutation 32 32)) in
+  for round = 0 to 15 do
+    let k = if decrypt then keys.(15 - round) else keys.(round) in
+    let next_r = !l lxor feistel !r k in
+    l := !r;
+    r := next_r
+  done;
+  (* Pre-output is R16 L16 (the halves swap once more). *)
+  let pre_hi = !r and pre_lo = !l in
+  let out_hi = permute_from64 pre_hi pre_lo (Array.sub final_permutation 0 32) in
+  let out_lo = permute_from64 pre_hi pre_lo (Array.sub final_permutation 32 32) in
+  halves_to_block out_hi out_lo
+
+let encrypt_block ~key block = crypt_block ~decrypt:false (subkeys key) block
+let decrypt_block ~key block = crypt_block ~decrypt:true (subkeys key) block
+
+module Triple = struct
+  (* Aliases: inside this module [encrypt_block]/[decrypt_block] name
+     the 3DES versions, so refer to single DES explicitly. *)
+  let des_encrypt = encrypt_block
+  let des_decrypt = decrypt_block
+
+  let split_key key =
+    if String.length key <> 24 then invalid_arg "Des.Triple: key must be 24 bytes";
+    (String.sub key 0 8, String.sub key 8 8, String.sub key 16 8)
+
+  let encrypt_block ~key block =
+    let k1, k2, k3 = split_key key in
+    des_encrypt ~key:k3 (des_decrypt ~key:k2 (des_encrypt ~key:k1 block))
+
+  let decrypt_block ~key block =
+    let k1, k2, k3 = split_key key in
+    des_decrypt ~key:k1 (des_encrypt ~key:k2 (des_decrypt ~key:k3 block))
+
+  let xor8 a b = String.init 8 (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+  let cbc_encrypt ~key ~iv data =
+    if String.length iv <> 8 then invalid_arg "Des.Triple: iv must be 8 bytes";
+    let pad = 8 - (String.length data mod 8) in
+    let padded = data ^ String.make pad (Char.chr pad) in
+    let nblocks = String.length padded / 8 in
+    let out = Buffer.create (String.length padded) in
+    let prev = ref iv in
+    for i = 0 to nblocks - 1 do
+      let block = xor8 (String.sub padded (i * 8) 8) !prev in
+      let c = encrypt_block ~key block in
+      Buffer.add_string out c;
+      prev := c
+    done;
+    Buffer.contents out
+
+  let cbc_decrypt ~key ~iv data =
+    if String.length iv <> 8 then invalid_arg "Des.Triple: iv must be 8 bytes";
+    let n = String.length data in
+    if n = 0 || n mod 8 <> 0 then invalid_arg "Des.Triple.cbc_decrypt: bad length";
+    let out = Buffer.create n in
+    let prev = ref iv in
+    for i = 0 to (n / 8) - 1 do
+      let c = String.sub data (i * 8) 8 in
+      Buffer.add_string out (xor8 (decrypt_block ~key c) !prev);
+      prev := c
+    done;
+    let padded = Buffer.contents out in
+    let pad = Char.code padded.[n - 1] in
+    if pad < 1 || pad > 8 then invalid_arg "Des.Triple.cbc_decrypt: bad padding";
+    for i = n - pad to n - 1 do
+      if Char.code padded.[i] <> pad then invalid_arg "Des.Triple.cbc_decrypt: bad padding"
+    done;
+    String.sub padded 0 (n - pad)
+end

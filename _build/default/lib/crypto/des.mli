@@ -1,0 +1,24 @@
+(** DES and 3DES-EDE (FIPS 46-3): the ciphers actual 2001-era IPsec
+    deployments ran. Provided as an alternative ESP transform so the
+    benchmarks can show what the paper's numbers would look like under
+    period-accurate (slow) encryption. *)
+
+val encrypt_block : key:string -> string -> string
+(** Single DES on one 8-byte block with an 8-byte key (parity bits
+    ignored). Raises [Invalid_argument] on wrong sizes. *)
+
+val decrypt_block : key:string -> string -> string
+
+module Triple : sig
+  val encrypt_block : key:string -> string -> string
+  (** 3DES-EDE on one 8-byte block with a 24-byte key (K1|K2|K3). *)
+
+  val decrypt_block : key:string -> string -> string
+
+  val cbc_encrypt : key:string -> iv:string -> string -> string
+  (** CBC mode with PKCS#5 padding; output length is a multiple of 8
+      and strictly larger than the input. [iv] is 8 bytes. *)
+
+  val cbc_decrypt : key:string -> iv:string -> string -> string
+  (** Raises [Invalid_argument] on bad length or padding. *)
+end

@@ -1,0 +1,14 @@
+(** Ephemeral Diffie-Hellman over the DSA group, used by the IKE
+    handshake to establish per-SA keys. *)
+
+type secret
+type share = Bignum.Nat.t
+(** The public value [g^x mod p]. *)
+
+val gen : ?params:Dsa.params -> Drbg.t -> secret * share
+(** Fresh ephemeral exponent and its public share. *)
+
+val shared : ?params:Dsa.params -> secret -> share -> string
+(** [shared secret peer_share] is a 32-byte key:
+    SHA-256 of the big-endian encoding of [peer^x mod p]. Raises
+    [Invalid_argument] if the peer share is outside [[2, p-2]]. *)

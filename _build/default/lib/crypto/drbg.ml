@@ -1,0 +1,51 @@
+module Nat = Bignum.Nat
+
+type t = { mutable k : string; mutable v : string }
+
+let update t provided =
+  t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.sha256 ~key:t.k t.v;
+  if provided <> "" then begin
+    t.k <- Hmac.sha256 ~key:t.k (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.sha256 ~key:t.k t.v
+  end
+
+let create ~seed =
+  let t = { k = String.make 32 '\000'; v = String.make 32 '\001' } in
+  update t seed;
+  t
+
+let bytes t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.sha256 ~key:t.k t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let rand_bits t bits =
+  if bits <= 0 then Nat.zero
+  else begin
+    let nbytes = (bits + 7) / 8 in
+    let raw = Nat.of_bytes_be (bytes t nbytes) in
+    let excess = (nbytes * 8) - bits in
+    Nat.shift_right raw excess
+  end
+
+let nat_below t n =
+  if Nat.is_zero n then invalid_arg "Drbg.nat_below: zero bound";
+  let bits = Nat.num_bits n in
+  let rec loop () =
+    let candidate = rand_bits t bits in
+    if Nat.compare candidate n < 0 then candidate else loop ()
+  in
+  loop ()
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Drbg.int_below: non-positive bound";
+  Nat.to_int (nat_below t (Nat.of_int n))
+
+let fork t ~label =
+  let seed = bytes t 32 ^ label in
+  create ~seed

@@ -1,0 +1,51 @@
+(** DSA signatures (FIPS 186), the algorithm behind the paper's
+    [dsa-hex:] keys and [sig-dsa-sha1-hex:] credential signatures. *)
+
+type params = { p : Bignum.Nat.t; q : Bignum.Nat.t; g : Bignum.Nat.t }
+(** Group parameters: [p] prime, [q] a 160-bit prime dividing [p-1],
+    [g] a generator of the order-[q] subgroup. *)
+
+type public = { params : params; y : Bignum.Nat.t }
+type private_key = { pub : public; x : Bignum.Nat.t }
+type signature = { r : Bignum.Nat.t; s : Bignum.Nat.t }
+
+val generate_params : ?pbits:int -> Drbg.t -> params
+(** Generate fresh parameters ([pbits] defaults to 512, as fits the
+    paper's 2001-era prototype). Slow: seconds of CPU. *)
+
+val default_params : unit -> params
+(** Shared parameters generated once from a fixed seed and cached;
+    all example identities use this group (like a site-wide DSA group
+    file). *)
+
+val generate_key : ?params:params -> Drbg.t -> private_key
+(** Generate a key pair in the given group (default
+    {!default_params}). *)
+
+val sign : ?hash:(string -> string) -> key:private_key -> Drbg.t -> string -> signature
+(** [sign ~key drbg msg] signs [hash msg] (default SHA-1, as in the
+    paper's [sig-dsa-sha1]; pass [Sha256.digest] for the sha256
+    variant) with a DRBG-drawn nonce. *)
+
+val verify : ?hash:(string -> string) -> key:public -> string -> signature -> bool
+
+val pub_encode : public -> string
+(** Serialize to the credential wire form (binary; pair with
+    {!Hexcodec} for the [dsa-hex:] rendering). *)
+
+val pub_decode : string -> public
+(** Raises [Invalid_argument] on malformed input. *)
+
+val priv_encode : private_key -> string
+(** Serialize a private key (public part + exponent) for key files
+    used by the command-line tools. Handle with care. *)
+
+val priv_decode : string -> private_key
+
+val sig_encode : signature -> string
+val sig_decode : string -> signature
+
+val pub_equal : public -> public -> bool
+val fingerprint : public -> string
+(** Short hex fingerprint (first 8 bytes of SHA-1 of the encoding),
+    used in logs and audit trails. *)

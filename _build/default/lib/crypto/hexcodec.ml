@@ -1,0 +1,21 @@
+let encode s =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter
+    (fun c ->
+      let x = Char.code c in
+      Buffer.add_char b "0123456789abcdef".[x lsr 4];
+      Buffer.add_char b "0123456789abcdef".[x land 0xf])
+    s;
+  Buffer.contents b
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hexcodec.decode: bad digit"
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hexcodec.decode: odd length";
+  String.init (n / 2) (fun i -> Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))

@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : string -> string
+(** Lowercase hex; output length is twice the input length. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; accepts upper or lower case. Raises
+    [Invalid_argument] on odd length or non-hex characters. *)

@@ -1,0 +1,25 @@
+let xor_pad key block_size pad =
+  let k =
+    if String.length key > block_size then key (* caller pre-hashes *)
+    else key
+  in
+  let b = Bytes.make block_size pad in
+  String.iteri (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor Char.code pad))) k;
+  Bytes.to_string b
+
+let generic ~hash ~block_size ~key msg =
+  let key = if String.length key > block_size then hash key else key in
+  let ipad = xor_pad key block_size '\x36' in
+  let opad = xor_pad key block_size '\x5c' in
+  hash (opad ^ hash (ipad ^ msg))
+
+let sha1 ~key msg = generic ~hash:Sha1.digest ~block_size:64 ~key msg
+let sha256 ~key msg = generic ~hash:Sha256.digest ~block_size:64 ~key msg
+
+let equal a b =
+  let la = String.length a and lb = String.length b in
+  let diff = ref (la lxor lb) in
+  for i = 0 to min la lb - 1 do
+    diff := !diff lor (Char.code a.[i] lxor Char.code b.[i])
+  done;
+  !diff = 0

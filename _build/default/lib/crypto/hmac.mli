@@ -1,0 +1,11 @@
+(** HMAC (RFC 2104) over SHA-1 or SHA-256. *)
+
+val sha1 : key:string -> string -> string
+(** [sha1 ~key msg] is the 20-byte HMAC-SHA1 tag. *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC-SHA256 tag. *)
+
+val equal : string -> string -> bool
+(** Constant-time comparison of equal-length tags (returns [false] on
+    length mismatch without early exit on content). *)

@@ -1,0 +1,114 @@
+(* Poly1305 with 26-bit limbs (the classic "donna" radix-2^26
+   representation): the 130-bit accumulator and clamped key live in
+   five limbs, so every partial product fits comfortably in OCaml's
+   63-bit native int and reduction mod 2^130-5 folds the high limbs
+   back with a multiply by 5. *)
+
+let tag_size = 16
+
+let le32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let mask26 = (1 lsl 26) - 1
+
+let mac ~key msg =
+  if String.length key <> 32 then invalid_arg "Poly1305: key must be 32 bytes";
+  (* r: clamped first half of the key, split into 26-bit limbs. *)
+  let t0 = le32 key 0 and t1 = le32 key 4 and t2 = le32 key 8 and t3 = le32 key 12 in
+  let r0 = t0 land 0x3ffffff in
+  let r1 = ((t0 lsr 26) lor (t1 lsl 6)) land 0x3ffff03 in
+  let r2 = ((t1 lsr 20) lor (t2 lsl 12)) land 0x3ffc0ff in
+  let r3 = ((t2 lsr 14) lor (t3 lsl 18)) land 0x3f03fff in
+  let r4 = (t3 lsr 8) land 0x00fffff in
+  let s1 = 5 * r1 and s2 = 5 * r2 and s3 = 5 * r3 and s4 = 5 * r4 in
+  let h0 = ref 0 and h1 = ref 0 and h2 = ref 0 and h3 = ref 0 and h4 = ref 0 in
+  let len = String.length msg in
+  let block = Bytes.make 17 '\000' in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min 16 (len - !pos) in
+    Bytes.fill block 0 17 '\000';
+    Bytes.blit_string msg !pos block 0 n;
+    Bytes.set block n '\001' (* the 2^(8n) bit *);
+    let b = Bytes.unsafe_to_string block in
+    let t0 = le32 b 0 and t1 = le32 b 4 and t2 = le32 b 8 and t3 = le32 b 12 in
+    let t4 = Char.code b.[16] in
+    h0 := !h0 + (t0 land 0x3ffffff);
+    h1 := !h1 + (((t0 lsr 26) lor (t1 lsl 6)) land 0x3ffffff);
+    h2 := !h2 + (((t1 lsr 20) lor (t2 lsl 12)) land 0x3ffffff);
+    h3 := !h3 + (((t2 lsr 14) lor (t3 lsl 18)) land 0x3ffffff);
+    h4 := !h4 + ((t3 lsr 8) lor (t4 lsl 24));
+    (* h <- h * r mod 2^130 - 5 *)
+    let d0 = (!h0 * r0) + (!h1 * s4) + (!h2 * s3) + (!h3 * s2) + (!h4 * s1) in
+    let d1 = (!h0 * r1) + (!h1 * r0) + (!h2 * s4) + (!h3 * s3) + (!h4 * s2) in
+    let d2 = (!h0 * r2) + (!h1 * r1) + (!h2 * r0) + (!h3 * s4) + (!h4 * s3) in
+    let d3 = (!h0 * r3) + (!h1 * r2) + (!h2 * r1) + (!h3 * r0) + (!h4 * s4) in
+    let d4 = (!h0 * r4) + (!h1 * r3) + (!h2 * r2) + (!h3 * r1) + (!h4 * r0) in
+    let c = d0 lsr 26 in
+    h0 := d0 land mask26;
+    let d1 = d1 + c in
+    let c = d1 lsr 26 in
+    h1 := d1 land mask26;
+    let d2 = d2 + c in
+    let c = d2 lsr 26 in
+    h2 := d2 land mask26;
+    let d3 = d3 + c in
+    let c = d3 lsr 26 in
+    h3 := d3 land mask26;
+    let d4 = d4 + c in
+    let c = d4 lsr 26 in
+    h4 := d4 land mask26;
+    h0 := !h0 + (c * 5);
+    let c = !h0 lsr 26 in
+    h0 := !h0 land mask26;
+    h1 := !h1 + c;
+    pos := !pos + n
+  done;
+  (* Full carry and reduce below 2^130 - 5. *)
+  let c = ref 0 in
+  let carry h = let v = !h + !c in c := v lsr 26; h := v land mask26 in
+  c := 0; carry h1; carry h2; carry h3; carry h4;
+  h0 := !h0 + (!c * 5);
+  c := 0; carry h0; h1 := !h1 + !c;
+  (* Compute h + 5 - 2^130; select it if non-negative. *)
+  let g0 = !h0 + 5 in
+  let c0 = g0 lsr 26 in
+  let g0 = g0 land mask26 in
+  let g1 = !h1 + c0 in
+  let c1 = g1 lsr 26 in
+  let g1 = g1 land mask26 in
+  let g2 = !h2 + c1 in
+  let c2 = g2 lsr 26 in
+  let g2 = g2 land mask26 in
+  let g3 = !h3 + c2 in
+  let c3 = g3 lsr 26 in
+  let g3 = g3 land mask26 in
+  let g4 = !h4 + c3 - (1 lsl 26) in
+  if g4 >= 0 then begin
+    h0 := g0; h1 := g1; h2 := g2; h3 := g3; h4 := g4
+  end;
+  (* tag = (h + s) mod 2^128, little-endian. *)
+  let k0 = le32 key 16 and k1 = le32 key 20 and k2 = le32 key 24 and k3 = le32 key 28 in
+  let f0 = (!h0 lor (!h1 lsl 26)) land 0xffffffff in
+  let f1 = ((!h1 lsr 6) lor (!h2 lsl 20)) land 0xffffffff in
+  let f2 = ((!h2 lsr 12) lor (!h3 lsl 14)) land 0xffffffff in
+  let f3 = ((!h3 lsr 18) lor (!h4 lsl 8)) land 0xffffffff in
+  let f0 = f0 + k0 in
+  let f1 = f1 + k1 + (f0 lsr 32) in
+  let f2 = f2 + k2 + (f1 lsr 32) in
+  let f3 = f3 + k3 + (f2 lsr 32) in
+  let out = Bytes.create 16 in
+  let put32 off v =
+    Bytes.set out off (Char.chr (v land 0xff));
+    Bytes.set out (off + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out (off + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out (off + 3) (Char.chr ((v lsr 24) land 0xff))
+  in
+  put32 0 f0;
+  put32 4 f1;
+  put32 8 f2;
+  put32 12 f3;
+  Bytes.to_string out

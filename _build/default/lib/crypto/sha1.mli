@@ -1,0 +1,18 @@
+(** SHA-1 (FIPS 180-4). Used by DisCFS for KeyNote [sig-dsa-sha1]
+    credential signatures, matching the paper's prototype. *)
+
+val digest_size : int
+(** 20 bytes. *)
+
+val digest : string -> string
+(** [digest msg] is the 20-byte binary SHA-1 digest of [msg]. *)
+
+val hex : string -> string
+(** [hex msg] is the lowercase hex encoding of [digest msg]. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string

@@ -1,0 +1,1 @@
+lib/ffs/blockdev.ml: Bytes Hashtbl List Simnet

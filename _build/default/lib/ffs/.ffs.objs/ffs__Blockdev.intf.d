@@ -1,0 +1,1 @@
+lib/ffs/blockdev.mli: Simnet

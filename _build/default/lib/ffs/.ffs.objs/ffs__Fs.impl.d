@@ -1,0 +1,1 @@
+lib/ffs/fs.ml: Array Blockdev Buffer Bytes Char Hashtbl Inode Int64 List Printf Simnet String Xdr

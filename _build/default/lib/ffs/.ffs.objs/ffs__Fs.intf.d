@@ -1,0 +1,1 @@
+lib/ffs/fs.mli: Blockdev Inode Simnet

@@ -1,0 +1,71 @@
+module Clock = Simnet.Clock
+module Cost = Simnet.Cost
+module Stats = Simnet.Stats
+
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  stats : Stats.t;
+  nblocks : int;
+  block_size : int;
+  store : (int, bytes) Hashtbl.t; (* lazily allocated blocks *)
+  mutable head : int; (* last block under the head, for the seek model *)
+}
+
+let create ~clock ~cost ~stats ~nblocks ~block_size =
+  if nblocks <= 0 || block_size <= 0 then invalid_arg "Blockdev.create";
+  { clock; cost; stats; nblocks; block_size; store = Hashtbl.create 1024; head = 0 }
+
+let block_size t = t.block_size
+let nblocks t = t.nblocks
+let clock t = t.clock
+let stats t = t.stats
+
+let charge t i =
+  let c = t.cost in
+  if i <> t.head + 1 && i <> t.head then begin
+    Clock.advance t.clock c.Cost.disk_seek;
+    Stats.incr t.stats "disk.seeks"
+  end;
+  Clock.advance t.clock
+    (c.Cost.disk_op_overhead +. (float_of_int t.block_size /. c.Cost.disk_transfer_bps));
+  t.head <- i
+
+let check t i = if i < 0 || i >= t.nblocks then invalid_arg "Blockdev: block out of range"
+
+let read t i =
+  check t i;
+  charge t i;
+  Stats.incr t.stats "disk.reads";
+  match Hashtbl.find_opt t.store i with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make t.block_size '\000'
+
+let write t i b =
+  check t i;
+  if Bytes.length b <> t.block_size then invalid_arg "Blockdev.write: bad block length";
+  charge t i;
+  Stats.incr t.stats "disk.writes";
+  Hashtbl.replace t.store i (Bytes.copy b)
+
+let snapshot t =
+  Hashtbl.fold (fun i b acc -> (i, Bytes.copy b) :: acc) t.store []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let restore t blocks =
+  Hashtbl.reset t.store;
+  List.iter
+    (fun (i, b) ->
+      check t i;
+      if Bytes.length b <> t.block_size then invalid_arg "Blockdev.restore: bad block length";
+      Hashtbl.replace t.store i (Bytes.copy b))
+    blocks
+
+let poke t i b =
+  check t i;
+  if Bytes.length b <> t.block_size then invalid_arg "Blockdev.poke: bad block length";
+  Hashtbl.replace t.store i (Bytes.copy b)
+
+let reads t = Stats.get t.stats "disk.reads"
+let writes t = Stats.get t.stats "disk.writes"
+let seeks t = Stats.get t.stats "disk.seeks"

@@ -1,0 +1,44 @@
+(** A simulated disk: an array of fixed-size blocks with a seek /
+    transfer timing model (Quantum Fireball class by default).
+    Sequential access pays only transfer time; discontiguous access
+    pays an average seek. Storage is allocated lazily so large mostly
+    -empty volumes are cheap. *)
+
+type t
+
+val create :
+  clock:Simnet.Clock.t ->
+  cost:Simnet.Cost.t ->
+  stats:Simnet.Stats.t ->
+  nblocks:int ->
+  block_size:int ->
+  t
+
+val block_size : t -> int
+val nblocks : t -> int
+val clock : t -> Simnet.Clock.t
+val stats : t -> Simnet.Stats.t
+
+val read : t -> int -> bytes
+(** [read t i] returns a copy of block [i] (zeros if never written).
+    Raises [Invalid_argument] if out of range. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t i b] stores a full block; [b] must be exactly
+    [block_size] long. *)
+
+val reads : t -> int
+val writes : t -> int
+val seeks : t -> int
+
+val snapshot : t -> (int * bytes) list
+(** All blocks ever written, sorted by index. Maintenance operation:
+    charges no virtual time (offline dump, like dd-ing the disk). *)
+
+val restore : t -> (int * bytes) list -> unit
+(** Replace the device contents. Maintenance operation; raises
+    [Invalid_argument] on out-of-range blocks or wrong sizes. *)
+
+val poke : t -> int -> bytes -> unit
+(** Write one block without charging time or stats (used by the
+    filesystem to flush its metadata cache before {!snapshot}). *)

@@ -1,0 +1,1 @@
+lib/ipsec/esp.ml: Char Dcrypto Printf Sa Simnet String

@@ -1,0 +1,1 @@
+lib/ipsec/ike.ml: Bignum Char Dcrypto Esp Oncrpc Sa Simnet String Xdr

@@ -1,0 +1,1 @@
+lib/ipsec/sa.mli: Simnet

@@ -1,0 +1,101 @@
+module Clock = Simnet.Clock
+module Cost = Simnet.Cost
+module Stats = Simnet.Stats
+
+exception Esp_error of string
+
+let header_len = 12 (* spi(4) + seq(8) *)
+let tag_len = 16
+let overhead = header_len + tag_len
+
+let charge sa nbytes =
+  let c = Sa.cost sa in
+  let per_byte =
+    match Sa.cipher sa with
+    | Sa.Chacha20_poly1305 -> c.Cost.esp_per_byte
+    | Sa.Tdes_hmac_sha1 -> c.Cost.esp_tdes_per_byte
+  in
+  Clock.advance (Sa.clock sa) (c.Cost.esp_per_packet +. (float_of_int nbytes *. per_byte));
+  Stats.incr (Sa.stats sa) "esp.packets";
+  Stats.add (Sa.stats sa) "esp.bytes" nbytes
+
+let be32 v = String.init 4 (fun i -> Char.chr ((v lsr ((3 - i) * 8)) land 0xff))
+let be64 v = String.init 8 (fun i -> Char.chr ((v lsr ((7 - i) * 8)) land 0xff))
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let read_be64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let nonce_of_seq seq = "\000\000\000\000" ^ be64 seq
+
+(* AEAD construction in the RFC 8439 style: the Poly1305 one-time key
+   is keystream block 0; the tag covers header ("AAD") and
+   ciphertext. *)
+let tag_of ~key ~nonce header ciphertext =
+  let otk = String.sub (Dcrypto.Chacha20.block ~key ~nonce ~counter:0) 0 32 in
+  Dcrypto.Poly1305.mac ~key:otk (header ^ ciphertext)
+
+(* 3DES-HMAC-SHA1 subkeys derived from the 32-byte SA key. *)
+let tdes_keys sa =
+  let base = Sa.key sa in
+  let enc = String.sub (Dcrypto.Hmac.sha256 ~key:base "3des-cipher" ^ base) 0 24 in
+  let auth = Dcrypto.Hmac.sha256 ~key:base "hmac-auth" in
+  (enc, auth)
+
+let tdes_tag_len = 12 (* HMAC-SHA1-96 *)
+
+let tdes_iv sa seq = String.sub (Dcrypto.Hmac.sha256 ~key:(Sa.key sa) ("iv" ^ be64 seq)) 0 8
+
+let seal sa payload =
+  charge sa (String.length payload + overhead);
+  let seq = Sa.next_seq sa in
+  let header = be32 (Sa.spi sa) ^ be64 seq in
+  match Sa.cipher sa with
+  | Sa.Chacha20_poly1305 ->
+    let nonce = nonce_of_seq seq in
+    let ciphertext = Dcrypto.Chacha20.crypt ~key:(Sa.key sa) ~nonce ~counter:1 payload in
+    header ^ ciphertext ^ tag_of ~key:(Sa.key sa) ~nonce header ciphertext
+  | Sa.Tdes_hmac_sha1 ->
+    let enc_key, auth_key = tdes_keys sa in
+    let ciphertext = Dcrypto.Des.Triple.cbc_encrypt ~key:enc_key ~iv:(tdes_iv sa seq) payload in
+    let tag = String.sub (Dcrypto.Hmac.sha1 ~key:auth_key (header ^ ciphertext)) 0 tdes_tag_len in
+    header ^ ciphertext ^ tag
+
+let open_ sa packet =
+  let n = String.length packet in
+  if n < header_len + tdes_tag_len then raise (Esp_error "packet too short");
+  charge sa n;
+  let spi = read_be32 packet 0 in
+  if spi <> Sa.spi sa then raise (Esp_error (Printf.sprintf "unknown SPI %d" spi));
+  let seq = read_be64 packet 4 in
+  let header = String.sub packet 0 header_len in
+  match Sa.cipher sa with
+  | Sa.Chacha20_poly1305 ->
+    if n < overhead then raise (Esp_error "packet too short");
+    let ciphertext = String.sub packet header_len (n - overhead) in
+    let tag = String.sub packet (n - tag_len) tag_len in
+    let nonce = nonce_of_seq seq in
+    let expected = tag_of ~key:(Sa.key sa) ~nonce header ciphertext in
+    if not (Dcrypto.Hmac.equal tag expected) then raise (Esp_error "authentication failed");
+    if not (Sa.replay_check sa seq) then
+      raise (Esp_error (Printf.sprintf "replayed sequence %d" seq));
+    Dcrypto.Chacha20.crypt ~key:(Sa.key sa) ~nonce ~counter:1 ciphertext
+  | Sa.Tdes_hmac_sha1 ->
+    let enc_key, auth_key = tdes_keys sa in
+    let ciphertext = String.sub packet header_len (n - header_len - tdes_tag_len) in
+    let tag = String.sub packet (n - tdes_tag_len) tdes_tag_len in
+    let expected = String.sub (Dcrypto.Hmac.sha1 ~key:auth_key (header ^ ciphertext)) 0 tdes_tag_len in
+    if not (Dcrypto.Hmac.equal tag expected) then raise (Esp_error "authentication failed");
+    if not (Sa.replay_check sa seq) then
+      raise (Esp_error (Printf.sprintf "replayed sequence %d" seq));
+    (try Dcrypto.Des.Triple.cbc_decrypt ~key:enc_key ~iv:(tdes_iv sa seq) ciphertext
+     with Invalid_argument m -> raise (Esp_error m))

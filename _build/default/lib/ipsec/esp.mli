@@ -1,0 +1,20 @@
+(** ESP encapsulation over an {!Sa} — ChaCha20-Poly1305 or
+    3DES-CBC + HMAC-SHA1-96 depending on the SA's transform — with a
+    4-byte SPI + 8-byte sequence header, anti-replay on open, and
+    virtual CPU time charged per packet and per byte (the 3DES
+    transform charges its period-accurate, much higher rate). *)
+
+exception Esp_error of string
+
+val seal : Sa.t -> string -> string
+(** Encrypt-and-authenticate a payload for the SA's next sequence
+    number. *)
+
+val open_ : Sa.t -> string -> string
+(** Verify, replay-check and decrypt. Raises {!Esp_error} on a bad
+    SPI, failed tag, or replayed sequence number. *)
+
+val overhead : int
+(** Bytes added to each packet (header + tag) under
+    [Chacha20_poly1305]; the 3DES transform adds header + CBC
+    padding + a 12-byte tag instead. *)

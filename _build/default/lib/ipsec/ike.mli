@@ -1,0 +1,30 @@
+(** A DSA-authenticated Diffie-Hellman key exchange in the role of
+    the paper's IKE: it establishes a pair of Security Associations
+    and tells each side the public key its peer authenticated with.
+    DisCFS binds that key to the NFS connection (paper §5). *)
+
+type endpoint = {
+  tx : Sa.t; (** outbound SA *)
+  rx : Sa.t; (** inbound SA *)
+  peer : string; (** authenticated remote principal, [dsa-hex:...] form *)
+}
+
+exception Ike_failure of string
+
+val establish :
+  link:Simnet.Link.t ->
+  drbg:Dcrypto.Drbg.t ->
+  initiator:Dcrypto.Dsa.private_key ->
+  responder:Dcrypto.Dsa.private_key ->
+  ?mitm:(msg:int -> string -> string) ->
+  ?cipher:Sa.cipher ->
+  unit ->
+  endpoint * endpoint
+(** Run the exchange over [link] (charging wire and CPU time) and
+    return the (initiator, responder) endpoints. [mitm] lets tests
+    tamper with a numbered handshake message in flight; any
+    modification makes the exchange fail with {!Ike_failure}. *)
+
+val rpc_channel : client:endpoint -> server:endpoint -> Oncrpc.Rpc.channel
+(** Wire the two endpoints into the RPC layer's directional
+    transforms (ESP on every request and reply). *)

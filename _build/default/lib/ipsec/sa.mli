@@ -1,0 +1,36 @@
+(** A unidirectional IPsec Security Association: SPI, traffic key,
+    sender sequence counter and receiver anti-replay window. *)
+
+type cipher = Chacha20_poly1305 | Tdes_hmac_sha1
+(** The ESP transform. [Tdes_hmac_sha1] is what 2001 IPsec actually
+    ran (and is dramatically slower); [Chacha20_poly1305] stands in
+    for a fast modern transform. *)
+
+type t
+
+val create :
+  clock:Simnet.Clock.t ->
+  cost:Simnet.Cost.t ->
+  stats:Simnet.Stats.t ->
+  spi:int ->
+  key:string ->
+  ?cipher:cipher ->
+  unit ->
+  t
+(** [key] must be 32 bytes; [cipher] defaults to
+    [Chacha20_poly1305]. *)
+
+val spi : t -> int
+val key : t -> string
+val cipher : t -> cipher
+val clock : t -> Simnet.Clock.t
+val cost : t -> Simnet.Cost.t
+val stats : t -> Simnet.Stats.t
+
+val next_seq : t -> int
+(** Allocate the next outbound sequence number (starting at 1). *)
+
+val replay_check : t -> int -> bool
+(** [replay_check t seq] is true exactly once per fresh sequence
+    number inside the 64-packet window; replays and too-old packets
+    return false. Marks the number as seen. *)

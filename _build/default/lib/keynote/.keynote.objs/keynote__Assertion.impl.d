@@ -1,0 +1,1 @@
+lib/keynote/assertion.ml: Ast Buffer Dcrypto Lexer List Parser Printf String

@@ -1,0 +1,1 @@
+lib/keynote/assertion.mli: Ast Dcrypto

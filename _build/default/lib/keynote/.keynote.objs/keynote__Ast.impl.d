@@ -1,0 +1,1 @@
+lib/keynote/ast.ml: Format List String

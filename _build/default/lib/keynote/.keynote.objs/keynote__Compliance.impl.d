@@ -1,0 +1,1 @@
+lib/keynote/compliance.ml: Assertion Ast Expr Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/keynote/compliance.mli: Assertion Ast

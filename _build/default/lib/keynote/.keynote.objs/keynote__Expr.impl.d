@@ -1,0 +1,1 @@
+lib/keynote/expr.ml: Ast Float List Printf Rex String

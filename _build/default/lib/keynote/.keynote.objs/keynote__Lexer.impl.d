@@ -1,0 +1,1 @@
+lib/keynote/lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/keynote/parser.ml: Ast Format Lexer List

@@ -1,0 +1,1 @@
+lib/keynote/pp.ml: Ast Buffer Float Format List String

@@ -1,0 +1,1 @@
+lib/keynote/pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/keynote/session.ml: Assertion Compliance List

@@ -1,0 +1,1 @@
+lib/keynote/session.mli: Assertion Ast Compliance

@@ -1,0 +1,147 @@
+(* Tokenizer shared by the Licensees and Conditions field parsers. *)
+
+type token =
+  | STRING of string
+  | NUMBER of float
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | ARROW (* -> *)
+  | ANDAND
+  | OROR
+  | BANG
+  | EQ (* == *)
+  | NEQ
+  | LE
+  | GE
+  | LT
+  | GT
+  | TILDE_EQ (* ~= *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | DOT
+  | DOLLAR
+  | ASSIGN (* single '=', used by Local-Constants *)
+  | EOF
+
+exception Lex_error of string
+
+let pp_token fmt = function
+  | STRING s -> Format.fprintf fmt "%S" s
+  | NUMBER f -> Format.fprintf fmt "%g" f
+  | IDENT s -> Format.fprintf fmt "%s" s
+  | LPAREN -> Format.fprintf fmt "("
+  | RPAREN -> Format.fprintf fmt ")"
+  | LBRACE -> Format.fprintf fmt "{"
+  | RBRACE -> Format.fprintf fmt "}"
+  | SEMI -> Format.fprintf fmt ";"
+  | COMMA -> Format.fprintf fmt ","
+  | ARROW -> Format.fprintf fmt "->"
+  | ANDAND -> Format.fprintf fmt "&&"
+  | OROR -> Format.fprintf fmt "||"
+  | BANG -> Format.fprintf fmt "!"
+  | EQ -> Format.fprintf fmt "=="
+  | NEQ -> Format.fprintf fmt "!="
+  | LE -> Format.fprintf fmt "<="
+  | GE -> Format.fprintf fmt ">="
+  | LT -> Format.fprintf fmt "<"
+  | GT -> Format.fprintf fmt ">"
+  | TILDE_EQ -> Format.fprintf fmt "~="
+  | PLUS -> Format.fprintf fmt "+"
+  | MINUS -> Format.fprintf fmt "-"
+  | STAR -> Format.fprintf fmt "*"
+  | SLASH -> Format.fprintf fmt "/"
+  | PERCENT -> Format.fprintf fmt "%%"
+  | CARET -> Format.fprintf fmt "^"
+  | DOT -> Format.fprintf fmt "."
+  | DOLLAR -> Format.fprintf fmt "$"
+  | ASSIGN -> Format.fprintf fmt "="
+  | EOF -> Format.fprintf fmt "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek_at k = if !i + k < n then Some s.[!i + k] else None in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '"' then begin
+      (* Quoted string with backslash escapes. *)
+      let buf = Buffer.create 32 in
+      incr i;
+      let closed = ref false in
+      while not !closed && !i < n do
+        (match s.[!i] with
+        | '"' -> closed := true
+        | '\\' when !i + 1 < n ->
+          incr i;
+          Buffer.add_char buf s.[!i]
+        | ch -> Buffer.add_char buf ch);
+        incr i
+      done;
+      if not !closed then raise (Lex_error "unterminated string literal");
+      emit (STRING (Buffer.contents buf))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit s.[!i] || s.[!i] = '.') do incr i done;
+      let text = String.sub s start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> emit (NUMBER f)
+      | None -> raise (Lex_error ("bad number: " ^ text))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      emit (IDENT (String.sub s start (!i - start)))
+    end
+    else begin
+      let two = match peek_at 1 with Some c2 -> Printf.sprintf "%c%c" c c2 | None -> "" in
+      match two with
+      | "->" -> emit ARROW; i := !i + 2
+      | "&&" -> emit ANDAND; i := !i + 2
+      | "||" -> emit OROR; i := !i + 2
+      | "==" -> emit EQ; i := !i + 2
+      | "!=" -> emit NEQ; i := !i + 2
+      | "<=" -> emit LE; i := !i + 2
+      | ">=" -> emit GE; i := !i + 2
+      | "~=" -> emit TILDE_EQ; i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | '{' -> emit LBRACE
+        | '}' -> emit RBRACE
+        | ';' -> emit SEMI
+        | ',' -> emit COMMA
+        | '!' -> emit BANG
+        | '<' -> emit LT
+        | '>' -> emit GT
+        | '+' -> emit PLUS
+        | '-' -> emit MINUS
+        | '*' -> emit STAR
+        | '/' -> emit SLASH
+        | '%' -> emit PERCENT
+        | '^' -> emit CARET
+        | '.' -> emit DOT
+        | '$' -> emit DOLLAR
+        | '=' -> emit ASSIGN
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)));
+        incr i
+    end
+  done;
+  List.rev (EOF :: !toks)

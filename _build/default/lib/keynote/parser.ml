@@ -1,0 +1,245 @@
+(* Recursive-descent parsers for the Licensees and Conditions fields.
+
+   The only delicate point is that '(' may open either a parenthesized
+   test or a parenthesized arithmetic expression; we resolve it by
+   attempting the expression-relation parse first and backtracking. *)
+
+exception Parse_error of string
+
+type cursor = { mutable toks : Lexer.token list }
+
+let peek c = match c.toks with [] -> Lexer.EOF | t :: _ -> t
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let expect c tok what =
+  if peek c = tok then advance c
+  else
+    raise
+      (Parse_error
+         (Format.asprintf "expected %s, found %a" what Lexer.pp_token (peek c)))
+
+let fail c what =
+  raise (Parse_error (Format.asprintf "expected %s, found %a" what Lexer.pp_token (peek c)))
+
+(* --- Licensees ---------------------------------------------------- *)
+
+(* [resolve] maps identifiers through Local-Constants; unknown
+   identifiers stand for themselves (e.g. POLICY or application
+   principal names). *)
+let rec parse_licensees_or resolve c =
+  let left = parse_licensees_and resolve c in
+  if peek c = Lexer.OROR then begin
+    advance c;
+    Ast.Or (left, parse_licensees_or resolve c)
+  end
+  else left
+
+and parse_licensees_and resolve c =
+  let left = parse_licensees_atom resolve c in
+  if peek c = Lexer.ANDAND then begin
+    advance c;
+    Ast.And (left, parse_licensees_and resolve c)
+  end
+  else left
+
+and parse_licensees_atom resolve c =
+  match peek c with
+  | Lexer.STRING s ->
+    advance c;
+    Ast.Principal s
+  | Lexer.IDENT name ->
+    advance c;
+    Ast.Principal (resolve name)
+  | Lexer.NUMBER k ->
+    (* threshold: K-of(l1, l2, ...) *)
+    advance c;
+    expect c Lexer.MINUS "'-' in threshold";
+    (match peek c with
+    | Lexer.IDENT "of" -> advance c
+    | _ -> fail c "'of' in threshold");
+    expect c Lexer.LPAREN "'(' after K-of";
+    let members = ref [ parse_licensees_or resolve c ] in
+    while peek c = Lexer.COMMA do
+      advance c;
+      members := parse_licensees_or resolve c :: !members
+    done;
+    expect c Lexer.RPAREN "')' closing threshold";
+    let ki = int_of_float k in
+    if float_of_int ki <> k || ki < 1 then raise (Parse_error "threshold K must be a positive integer");
+    Ast.Threshold (ki, List.rev !members)
+  | Lexer.LPAREN ->
+    advance c;
+    let l = parse_licensees_or resolve c in
+    expect c Lexer.RPAREN "')'";
+    l
+  | _ -> fail c "principal, threshold or '('"
+
+let licensees ?(resolve = fun name -> name) text =
+  let c = { toks = Lexer.tokenize text } in
+  let l = parse_licensees_or resolve c in
+  if peek c <> Lexer.EOF then fail c "end of Licensees field";
+  l
+
+(* --- Conditions --------------------------------------------------- *)
+
+let rec parse_expr c =
+  let left = ref (parse_term c) in
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Lexer.PLUS -> advance c; left := Ast.Add (!left, parse_term c)
+    | Lexer.MINUS -> advance c; left := Ast.Sub (!left, parse_term c)
+    | Lexer.DOT -> advance c; left := Ast.Concat (!left, parse_term c)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_term c =
+  let left = ref (parse_factor c) in
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Lexer.STAR -> advance c; left := Ast.Mul (!left, parse_factor c)
+    | Lexer.SLASH -> advance c; left := Ast.Div (!left, parse_factor c)
+    | Lexer.PERCENT -> advance c; left := Ast.Mod (!left, parse_factor c)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_factor c =
+  let base = parse_unary c in
+  if peek c = Lexer.CARET then begin
+    advance c;
+    Ast.Pow (base, parse_factor c) (* right-associative *)
+  end
+  else base
+
+and parse_unary c =
+  match peek c with
+  | Lexer.MINUS -> advance c; Ast.Neg (parse_unary c)
+  | _ -> parse_atom c
+
+and parse_atom c =
+  match peek c with
+  | Lexer.NUMBER f -> advance c; Ast.Num f
+  | Lexer.STRING s -> advance c; Ast.Str s
+  | Lexer.IDENT name -> advance c; Ast.Attr name
+  | Lexer.DOLLAR -> advance c; Ast.Deref (parse_atom c)
+  | Lexer.LPAREN ->
+    advance c;
+    let e = parse_expr c in
+    expect c Lexer.RPAREN "')'";
+    e
+  | _ -> fail c "expression"
+
+let relop_of_token = function
+  | Lexer.EQ -> Some (fun a b -> Ast.Eq (a, b))
+  | Lexer.NEQ -> Some (fun a b -> Ast.Neq (a, b))
+  | Lexer.LT -> Some (fun a b -> Ast.Lt (a, b))
+  | Lexer.GT -> Some (fun a b -> Ast.Gt (a, b))
+  | Lexer.LE -> Some (fun a b -> Ast.Le (a, b))
+  | Lexer.GE -> Some (fun a b -> Ast.Ge (a, b))
+  | _ -> None
+
+let rec parse_test_or c =
+  let left = parse_test_and c in
+  if peek c = Lexer.OROR then begin
+    advance c;
+    Ast.OrT (left, parse_test_or c)
+  end
+  else left
+
+and parse_test_and c =
+  let left = parse_test_not c in
+  if peek c = Lexer.ANDAND then begin
+    advance c;
+    Ast.AndT (left, parse_test_and c)
+  end
+  else left
+
+and parse_test_not c =
+  match peek c with
+  | Lexer.BANG ->
+    advance c;
+    Ast.Not (parse_test_not c)
+  | _ -> parse_test_primary c
+
+and parse_test_primary c =
+  match peek c with
+  | Lexer.IDENT "true" when relop_is_absent c -> advance c; Ast.True
+  | Lexer.IDENT "false" when relop_is_absent c -> advance c; Ast.False
+  | _ ->
+    (* Try expr RELOP expr; on failure reparse as '(' test ')'. *)
+    let saved = c.toks in
+    (match parse_relation c with
+    | test -> test
+    | exception Parse_error _ when saved <> [] && List.hd saved = Lexer.LPAREN ->
+      c.toks <- saved;
+      advance c;
+      let t = parse_test_or c in
+      expect c Lexer.RPAREN "')'";
+      t)
+
+and relop_is_absent c =
+  (* "true"/"false" are keywords only when not used as an attribute in
+     a comparison, e.g. [true == "yes"] treats it as an attribute. *)
+  match c.toks with
+  | _ :: next :: _ ->
+    (match relop_of_token next with
+    | Some _ -> false
+    | None -> next <> Lexer.TILDE_EQ && next <> Lexer.DOT)
+  | _ -> true
+
+and parse_relation c =
+  let left = parse_expr c in
+  match relop_of_token (peek c) with
+  | Some mk ->
+    advance c;
+    mk left (parse_expr c)
+  | None ->
+    if peek c = Lexer.TILDE_EQ then begin
+      advance c;
+      match peek c with
+      | Lexer.STRING pattern ->
+        advance c;
+        Ast.Regex (left, pattern)
+      | _ -> fail c "regex pattern string after ~="
+    end
+    else fail c "comparison operator"
+
+let rec parse_program c =
+  let clauses = ref [] in
+  let rec loop () =
+    match peek c with
+    | Lexer.EOF | Lexer.RBRACE -> ()
+    | Lexer.SEMI -> advance c; loop ()
+    | _ ->
+      let guard = parse_test_or c in
+      let result =
+        if peek c = Lexer.ARROW then begin
+          advance c;
+          match peek c with
+          | Lexer.STRING v -> advance c; Ast.Value v
+          | Lexer.LBRACE ->
+            advance c;
+            let sub = parse_program c in
+            expect c Lexer.RBRACE "'}'";
+            Ast.Subprogram sub
+          | _ -> fail c "value string or '{' after ->"
+        end
+        else Ast.Max_trust
+      in
+      clauses := { Ast.guard; result } :: !clauses;
+      (match peek c with
+      | Lexer.SEMI -> advance c; loop ()
+      | Lexer.EOF | Lexer.RBRACE -> ()
+      | _ -> fail c "';' between clauses")
+  in
+  loop ();
+  List.rev !clauses
+
+let conditions text =
+  let c = { toks = Lexer.tokenize text } in
+  let prog = parse_program c in
+  if peek c <> Lexer.EOF then fail c "end of Conditions field";
+  prog

@@ -1,0 +1,41 @@
+type t = {
+  values : string list;
+  mutable policy : Assertion.t list;
+  mutable credentials : Assertion.t list;
+}
+
+let create ~values ?(policy = []) () =
+  if values = [] then invalid_arg "Session.create: empty value set";
+  { values; policy; credentials = [] }
+
+let add_policy t a = t.policy <- t.policy @ [ a ]
+
+let add_credential t a =
+  if not (Assertion.verify a) then Error "credential signature verification failed"
+  else begin
+    let fp = Assertion.fingerprint a in
+    if List.exists (fun c -> Assertion.fingerprint c = fp) t.credentials then Ok ()
+    else begin
+      t.credentials <- t.credentials @ [ a ];
+      Ok ()
+    end
+  end
+
+let add_credential_text t text =
+  match Assertion.parse text with
+  | a -> add_credential t a
+  | exception Assertion.Parse_error msg -> Error ("parse error: " ^ msg)
+
+let remove_credential t ~fingerprint =
+  let before = List.length t.credentials in
+  t.credentials <- List.filter (fun c -> Assertion.fingerprint c <> fingerprint) t.credentials;
+  List.length t.credentials <> before
+
+let credentials t = t.credentials
+let policy t = t.policy
+let values t = t.values
+
+let query t ~requesters ~attributes =
+  (* Credentials were signature-checked when admitted. *)
+  Compliance.check ~assume_verified:true ~policy:t.policy ~credentials:t.credentials
+    { Compliance.requesters; attributes; values = t.values }

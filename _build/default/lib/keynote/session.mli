@@ -1,0 +1,29 @@
+(** A persistent KeyNote session, as kept by the DisCFS daemon:
+    local policy plus every credential successfully submitted over
+    RPC. Queries evaluate against the whole set (paper §5). *)
+
+type t
+
+val create : values:string list -> ?policy:Assertion.t list -> unit -> t
+(** [values] is the ordered compliance-value set, lowest first, e.g.
+    [["false"; "X"; "W"; "WX"; "R"; "RX"; "RW"; "RWX"]]. *)
+
+val add_policy : t -> Assertion.t -> unit
+
+val add_credential : t -> Assertion.t -> (unit, string) result
+(** Verify the signature and add; duplicates (same fingerprint) are
+    accepted idempotently. *)
+
+val add_credential_text : t -> string -> (unit, string) result
+(** Parse then {!add_credential}. *)
+
+val remove_credential : t -> fingerprint:string -> bool
+(** Drop a credential by fingerprint; returns whether it was
+    present. Supports the paper's server-side revocation. *)
+
+val credentials : t -> Assertion.t list
+val policy : t -> Assertion.t list
+val values : t -> string list
+
+val query :
+  t -> requesters:Ast.principal list -> attributes:(string * string) list -> Compliance.result

@@ -1,0 +1,1 @@
+lib/nfs/cache.ml: Client Hashtbl List Proto Simnet

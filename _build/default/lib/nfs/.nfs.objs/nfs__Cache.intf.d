@@ -1,0 +1,1 @@
+lib/nfs/cache.mli: Client Proto Simnet

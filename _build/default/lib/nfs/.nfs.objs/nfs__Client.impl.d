@@ -1,0 +1,1 @@
+lib/nfs/client.ml: Buffer List Oncrpc Proto String Xdr

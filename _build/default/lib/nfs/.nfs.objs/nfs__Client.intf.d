@@ -1,0 +1,1 @@
+lib/nfs/client.mli: Oncrpc Proto

@@ -1,0 +1,1 @@
+lib/nfs/proto.ml: Bytes Char List Printf String Xdr

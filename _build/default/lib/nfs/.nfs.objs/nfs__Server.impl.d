@@ -1,0 +1,1 @@
+lib/nfs/server.ml: Ffs List Oncrpc Proto String Xdr

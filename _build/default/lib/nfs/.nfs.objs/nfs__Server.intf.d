@@ -1,0 +1,1 @@
+lib/nfs/server.mli: Ffs Oncrpc Proto

@@ -1,0 +1,88 @@
+module Clock = Simnet.Clock
+
+type entry_key = int * int (* ino, gen *)
+
+type t = {
+  client : Client.t;
+  clock : Clock.t;
+  attr_ttl : float;
+  name_ttl : float;
+  attrs : (entry_key, Proto.fattr * float) Hashtbl.t; (* value, expiry *)
+  names : (entry_key * string, (Proto.fh * Proto.fattr) * float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~client ~clock ?(attr_ttl = 3.0) ?(name_ttl = 30.0) () =
+  {
+    client;
+    clock;
+    attr_ttl;
+    name_ttl;
+    attrs = Hashtbl.create 64;
+    names = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let key (fh : Proto.fh) = (fh.Proto.ino, fh.Proto.gen)
+
+let fresh t expiry = Clock.now t.clock < expiry
+
+let store_attr t fh attr =
+  Hashtbl.replace t.attrs (key fh) (attr, Clock.now t.clock +. t.attr_ttl)
+
+let getattr t fh =
+  match Hashtbl.find_opt t.attrs (key fh) with
+  | Some (attr, expiry) when fresh t expiry ->
+    t.hits <- t.hits + 1;
+    attr
+  | _ ->
+    t.misses <- t.misses + 1;
+    let attr = Client.getattr t.client fh in
+    store_attr t fh attr;
+    attr
+
+let lookup t dir name =
+  match Hashtbl.find_opt t.names (key dir, name) with
+  | Some (result, expiry) when fresh t expiry ->
+    t.hits <- t.hits + 1;
+    result
+  | _ ->
+    t.misses <- t.misses + 1;
+    let fh, attr = Client.lookup t.client dir name in
+    Hashtbl.replace t.names ((key dir, name)) ((fh, attr), Clock.now t.clock +. t.name_ttl);
+    store_attr t fh attr;
+    (fh, attr)
+
+let read t fh ~off ~count =
+  let attr, data = Client.read t.client fh ~off ~count in
+  store_attr t fh attr;
+  (attr, data)
+
+let write t fh ~off data =
+  let attr = Client.write t.client fh ~off data in
+  store_attr t fh attr;
+  attr
+
+let invalidate t fh =
+  Hashtbl.remove t.attrs (key fh);
+  (* Drop any name entries resolving to this handle. *)
+  let doomed =
+    Hashtbl.fold
+      (fun k ((target, _), _) acc -> if key target = key fh then k :: acc else acc)
+      t.names []
+  in
+  List.iter (Hashtbl.remove t.names) doomed
+
+let remove t dir name =
+  Client.remove t.client dir name;
+  Hashtbl.remove t.names (key dir, name);
+  Hashtbl.remove t.attrs (key dir)
+
+let invalidate_all t =
+  Hashtbl.reset t.attrs;
+  Hashtbl.reset t.names
+
+let hits t = t.hits
+let misses t = t.misses

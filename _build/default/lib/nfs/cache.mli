@@ -1,0 +1,29 @@
+(** Client-side NFS caching, as real NFS clients do: an attribute
+    cache and a directory-name (lookup) cache with time-to-live
+    expiry against the virtual clock. Writes through this layer
+    invalidate the file's cached attributes; removes and renames
+    invalidate name entries.
+
+    NFSv2 has no cache-coherence protocol, so staleness up to the TTL
+    is inherent — the classic close-to-open trade-off. TTLs default
+    to the common 3 s (attributes) / 30 s (names). *)
+
+type t
+
+val create :
+  client:Client.t -> clock:Simnet.Clock.t -> ?attr_ttl:float -> ?name_ttl:float -> unit -> t
+
+val getattr : t -> Proto.fh -> Proto.fattr
+val lookup : t -> Proto.fh -> string -> Proto.fh * Proto.fattr
+val read : t -> Proto.fh -> off:int -> count:int -> Proto.fattr * string
+(** Pass-through; refreshes the attribute cache from the reply. *)
+
+val write : t -> Proto.fh -> off:int -> string -> Proto.fattr
+(** Pass-through; updates the attribute cache from the reply. *)
+
+val remove : t -> Proto.fh -> string -> unit
+val invalidate : t -> Proto.fh -> unit
+val invalidate_all : t -> unit
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,204 @@
+module Rpc = Oncrpc.Rpc
+
+type t = { rpc : Rpc.client }
+
+let create rpc = { rpc }
+
+let call t proc body =
+  let e = Xdr.Enc.create () in
+  body e;
+  Rpc.call t.rpc ~prog:Proto.nfs_prog ~vers:Proto.nfs_vers ~proc (Xdr.Enc.to_string e)
+
+let status_check d =
+  let status = Xdr.Dec.uint32 d in
+  if status <> Proto.nfs_ok then raise (Proto.Nfs_error status)
+
+let mount t path =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.string e path;
+  let reply =
+    Rpc.call t.rpc ~prog:Proto.mount_prog ~vers:Proto.mount_vers ~proc:Proto.mountproc_mnt
+      (Xdr.Enc.to_string e)
+  in
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  let fh = Proto.fh_decode d in
+  Xdr.Dec.expect_end d;
+  fh
+
+let null t = ignore (call t Proto.nfsproc_null (fun _ -> ()))
+
+let attrstat reply =
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  let attr = Proto.fattr_decode d in
+  Xdr.Dec.expect_end d;
+  attr
+
+let diropres reply =
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  let fh = Proto.fh_decode d in
+  let attr = Proto.fattr_decode d in
+  Xdr.Dec.expect_end d;
+  (fh, attr)
+
+let getattr t fh = attrstat (call t Proto.nfsproc_getattr (fun e -> Proto.fh_encode e fh))
+
+let setattr t fh sattr =
+  attrstat
+    (call t Proto.nfsproc_setattr (fun e ->
+         Proto.fh_encode e fh;
+         Proto.sattr_encode e sattr))
+
+let lookup t fh name =
+  diropres
+    (call t Proto.nfsproc_lookup (fun e ->
+         Proto.fh_encode e fh;
+         Xdr.Enc.string e name))
+
+let readlink t fh =
+  let reply = call t Proto.nfsproc_readlink (fun e -> Proto.fh_encode e fh) in
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  let target = Xdr.Dec.string d in
+  Xdr.Dec.expect_end d;
+  target
+
+let read t fh ~off ~count =
+  let reply =
+    call t Proto.nfsproc_read (fun e ->
+        Proto.fh_encode e fh;
+        Xdr.Enc.uint32 e off;
+        Xdr.Enc.uint32 e count;
+        Xdr.Enc.uint32 e count)
+  in
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  let attr = Proto.fattr_decode d in
+  let data = Xdr.Dec.opaque d in
+  Xdr.Dec.expect_end d;
+  (attr, data)
+
+let write t fh ~off data =
+  attrstat
+    (call t Proto.nfsproc_write (fun e ->
+         Proto.fh_encode e fh;
+         Xdr.Enc.uint32 e off;
+         Xdr.Enc.uint32 e off;
+         Xdr.Enc.uint32 e (String.length data);
+         Xdr.Enc.opaque e data))
+
+let make_node proc t fh name sattr =
+  diropres
+    (call t proc (fun e ->
+         Proto.fh_encode e fh;
+         Xdr.Enc.string e name;
+         Proto.sattr_encode e sattr))
+
+let create_file t fh name sattr = make_node Proto.nfsproc_create t fh name sattr
+let mkdir t fh name sattr = make_node Proto.nfsproc_mkdir t fh name sattr
+
+let status_only reply =
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  Xdr.Dec.expect_end d
+
+let name_op proc t fh name =
+  status_only
+    (call t proc (fun e ->
+         Proto.fh_encode e fh;
+         Xdr.Enc.string e name))
+
+let remove t fh name = name_op Proto.nfsproc_remove t fh name
+let rmdir t fh name = name_op Proto.nfsproc_rmdir t fh name
+
+let rename t ~src:(src_fh, src_name) ~dst:(dst_fh, dst_name) =
+  status_only
+    (call t Proto.nfsproc_rename (fun e ->
+         Proto.fh_encode e src_fh;
+         Xdr.Enc.string e src_name;
+         Proto.fh_encode e dst_fh;
+         Xdr.Enc.string e dst_name))
+
+let link t ~target ~dir name =
+  status_only
+    (call t Proto.nfsproc_link (fun e ->
+         Proto.fh_encode e target;
+         Proto.fh_encode e dir;
+         Xdr.Enc.string e name))
+
+let symlink t fh name ~target =
+  status_only
+    (call t Proto.nfsproc_symlink (fun e ->
+         Proto.fh_encode e fh;
+         Xdr.Enc.string e name;
+         Xdr.Enc.string e target;
+         Proto.sattr_encode e Proto.sattr_none))
+
+let readdir t fh =
+  let rec pages cookie acc =
+    let reply =
+      call t Proto.nfsproc_readdir (fun e ->
+          Proto.fh_encode e fh;
+          Xdr.Enc.uint32 e cookie;
+          Xdr.Enc.uint32 e Proto.max_data)
+    in
+    let d = Xdr.Dec.of_string reply in
+    status_check d;
+    let entries, eof = Proto.direntries_decode d in
+    let acc = acc @ List.map (fun de -> (de.Proto.d_name, de.Proto.d_fileid)) entries in
+    if eof || entries = [] then acc
+    else pages (List.fold_left (fun m de -> max m de.Proto.d_cookie) cookie entries) acc
+  in
+  pages 0 []
+
+let statfs t fh =
+  let reply = call t Proto.nfsproc_statfs (fun e -> Proto.fh_encode e fh) in
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  let s = Proto.statfs_decode d in
+  Xdr.Dec.expect_end d;
+  s
+
+let access t fh wanted =
+  let reply =
+    call t Proto.nfsproc_access (fun e ->
+        Proto.fh_encode e fh;
+        Xdr.Enc.uint32 e wanted)
+  in
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  let granted = Xdr.Dec.uint32 d in
+  Xdr.Dec.expect_end d;
+  granted
+
+let read_all t fh =
+  let buf = Buffer.create 8192 in
+  let rec go off =
+    let _, data = read t fh ~off ~count:Proto.max_data in
+    if data <> "" then begin
+      Buffer.add_string buf data;
+      if String.length data = Proto.max_data then go (off + String.length data)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let write_all t fh data =
+  let len = String.length data in
+  let rec go off =
+    if off < len then begin
+      let n = min Proto.max_data (len - off) in
+      ignore (write t fh ~off (String.sub data off n));
+      go (off + n)
+    end
+  in
+  go 0
+
+let resolve t ~root path =
+  let parts = List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' path) in
+  List.fold_left
+    (fun (fh, _attr) name -> lookup t fh name)
+    (root, getattr t root)
+    parts

@@ -1,0 +1,45 @@
+(** Typed NFSv2 client stubs over an RPC connection. Calls raise
+    {!Proto.Nfs_error} on non-OK status. *)
+
+type t
+
+val create : Oncrpc.Rpc.client -> t
+
+val mount : t -> string -> Proto.fh
+(** MOUNTPROC_MNT: path to root file handle. *)
+
+val null : t -> unit
+val getattr : t -> Proto.fh -> Proto.fattr
+val setattr : t -> Proto.fh -> Proto.sattr -> Proto.fattr
+val lookup : t -> Proto.fh -> string -> Proto.fh * Proto.fattr
+val readlink : t -> Proto.fh -> string
+val read : t -> Proto.fh -> off:int -> count:int -> Proto.fattr * string
+val write : t -> Proto.fh -> off:int -> string -> Proto.fattr
+val create_file : t -> Proto.fh -> string -> Proto.sattr -> Proto.fh * Proto.fattr
+val mkdir : t -> Proto.fh -> string -> Proto.sattr -> Proto.fh * Proto.fattr
+val remove : t -> Proto.fh -> string -> unit
+val rmdir : t -> Proto.fh -> string -> unit
+val rename : t -> src:Proto.fh * string -> dst:Proto.fh * string -> unit
+val link : t -> target:Proto.fh -> dir:Proto.fh -> string -> unit
+val symlink : t -> Proto.fh -> string -> target:string -> unit
+val readdir : t -> Proto.fh -> (string * int) list
+(** Iterates READDIR with cookies until EOF; returns (name, fileid)
+    including ["."] and [".."]. *)
+
+val statfs : t -> Proto.fh -> Proto.statfs_res
+
+val access : t -> Proto.fh -> int -> int
+(** The ACCESS extension (v3 semantics on the v2 program): ask which
+    of the requested {!Proto.access_read}... bits the server grants
+    this connection, without attempting the operations. *)
+
+(** {1 Convenience} *)
+
+val read_all : t -> Proto.fh -> string
+(** Sequential 8 KB READs to EOF. *)
+
+val write_all : t -> Proto.fh -> string -> unit
+(** Sequential 8 KB WRITEs from offset 0. *)
+
+val resolve : t -> root:Proto.fh -> string -> Proto.fh * Proto.fattr
+(** Walk a slash-separated path with LOOKUPs. *)

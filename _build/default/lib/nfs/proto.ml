@@ -1,0 +1,260 @@
+(* NFSv2 protocol definitions (RFC 1094) and their XDR codecs.
+
+   File handles are 32-byte opaques; ours carry the inode number and
+   generation (the 4.4BSD-style handle the paper proposes in §5),
+   zero-padded. *)
+
+let nfs_prog = 100003
+let nfs_vers = 2
+let mount_prog = 100005
+let mount_vers = 1
+let fh_size = 32
+let max_data = 8192 (* NFSv2 transfer size *)
+
+(* Procedure numbers. *)
+let nfsproc_null = 0
+let nfsproc_getattr = 1
+let nfsproc_setattr = 2
+let nfsproc_root = 3
+let nfsproc_lookup = 4
+let nfsproc_readlink = 5
+let nfsproc_read = 6
+let nfsproc_writecache = 7
+let nfsproc_write = 8
+let nfsproc_create = 9
+let nfsproc_remove = 10
+let nfsproc_rename = 11
+let nfsproc_link = 12
+let nfsproc_symlink = 13
+let nfsproc_mkdir = 14
+let nfsproc_rmdir = 15
+let nfsproc_readdir = 16
+let nfsproc_statfs = 17
+
+(* Vendor extension: the NFSv3 ACCESS procedure back-ported onto the
+   v2 program, as a step toward the paper's goal of offering the
+   credential mechanism "as part of the standard NFS authentication
+   framework". The client asks which of a set of access rights the
+   server would grant it; DisCFS answers from KeyNote. *)
+let nfsproc_access = 18
+
+let access_read = 0x01
+let access_lookup = 0x02
+let access_modify = 0x04
+let access_extend = 0x08
+let access_delete = 0x10
+let access_execute = 0x20
+let access_all = 0x3f
+
+let mountproc_mnt = 1
+let mountproc_umnt = 3
+
+(* Status codes. *)
+let nfs_ok = 0
+let nfserr_perm = 1
+let nfserr_noent = 2
+let nfserr_io = 5
+let nfserr_acces = 13
+let nfserr_exist = 17
+let nfserr_notdir = 20
+let nfserr_isdir = 21
+let nfserr_fbig = 27
+let nfserr_nospc = 28
+let nfserr_nametoolong = 63
+let nfserr_notempty = 66
+let nfserr_stale = 70
+
+let status_to_string = function
+  | 0 -> "NFS_OK"
+  | 1 -> "NFSERR_PERM"
+  | 2 -> "NFSERR_NOENT"
+  | 5 -> "NFSERR_IO"
+  | 13 -> "NFSERR_ACCES"
+  | 17 -> "NFSERR_EXIST"
+  | 20 -> "NFSERR_NOTDIR"
+  | 21 -> "NFSERR_ISDIR"
+  | 27 -> "NFSERR_FBIG"
+  | 28 -> "NFSERR_NOSPC"
+  | 63 -> "NFSERR_NAMETOOLONG"
+  | 66 -> "NFSERR_NOTEMPTY"
+  | 70 -> "NFSERR_STALE"
+  | n -> Printf.sprintf "NFSERR_%d" n
+
+exception Nfs_error of int
+
+(* --- file handles --------------------------------------------------- *)
+
+type fh = { ino : int; gen : int }
+
+let fh_encode e { ino; gen } =
+  let b = Bytes.make fh_size '\000' in
+  let put off v =
+    Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set b (off + 3) (Char.chr (v land 0xff))
+  in
+  put 0 ino;
+  put 4 gen;
+  Xdr.Enc.opaque_fixed e fh_size (Bytes.to_string b)
+
+let fh_decode d =
+  let s = Xdr.Dec.opaque_fixed d fh_size in
+  let get off =
+    (Char.code s.[off] lsl 24)
+    lor (Char.code s.[off + 1] lsl 16)
+    lor (Char.code s.[off + 2] lsl 8)
+    lor Char.code s.[off + 3]
+  in
+  { ino = get 0; gen = get 4 }
+
+(* --- attributes ----------------------------------------------------- *)
+
+type ftype = NFNON | NFREG | NFDIR | NFLNK
+
+let ftype_code = function NFNON -> 0 | NFREG -> 1 | NFDIR -> 2 | NFLNK -> 5
+
+let ftype_of_code = function
+  | 0 -> NFNON
+  | 1 -> NFREG
+  | 2 -> NFDIR
+  | 5 -> NFLNK
+  | n -> raise (Xdr.Decode_error (Printf.sprintf "bad ftype %d" n))
+
+type fattr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  blocksize : int;
+  blocks : int;
+  fsid : int;
+  fileid : int;
+  atime : float;
+  mtime : float;
+  ctime : float;
+}
+
+let time_encode e t =
+  let sec = int_of_float t in
+  let usec = int_of_float ((t -. float_of_int sec) *. 1e6) in
+  Xdr.Enc.uint32 e sec;
+  Xdr.Enc.uint32 e usec
+
+let time_decode d =
+  let sec = Xdr.Dec.uint32 d in
+  let usec = Xdr.Dec.uint32 d in
+  float_of_int sec +. (float_of_int usec /. 1e6)
+
+let fattr_encode e a =
+  Xdr.Enc.uint32 e (ftype_code a.ftype);
+  Xdr.Enc.uint32 e a.mode;
+  Xdr.Enc.uint32 e a.nlink;
+  Xdr.Enc.uint32 e a.uid;
+  Xdr.Enc.uint32 e a.gid;
+  Xdr.Enc.uint32 e a.size;
+  Xdr.Enc.uint32 e a.blocksize;
+  Xdr.Enc.uint32 e 0 (* rdev *);
+  Xdr.Enc.uint32 e a.blocks;
+  Xdr.Enc.uint32 e a.fsid;
+  Xdr.Enc.uint32 e a.fileid;
+  time_encode e a.atime;
+  time_encode e a.mtime;
+  time_encode e a.ctime
+
+let fattr_decode d =
+  let ftype = ftype_of_code (Xdr.Dec.uint32 d) in
+  let mode = Xdr.Dec.uint32 d in
+  let nlink = Xdr.Dec.uint32 d in
+  let uid = Xdr.Dec.uint32 d in
+  let gid = Xdr.Dec.uint32 d in
+  let size = Xdr.Dec.uint32 d in
+  let blocksize = Xdr.Dec.uint32 d in
+  let _rdev = Xdr.Dec.uint32 d in
+  let blocks = Xdr.Dec.uint32 d in
+  let fsid = Xdr.Dec.uint32 d in
+  let fileid = Xdr.Dec.uint32 d in
+  let atime = time_decode d in
+  let mtime = time_decode d in
+  let ctime = time_decode d in
+  { ftype; mode; nlink; uid; gid; size; blocksize; blocks; fsid; fileid; atime; mtime; ctime }
+
+(* Settable attributes: -1 (0xffffffff) means "don't change". *)
+type sattr = { s_mode : int option; s_uid : int option; s_gid : int option; s_size : int option }
+
+let sattr_none = { s_mode = None; s_uid = None; s_gid = None; s_size = None }
+
+let unset = 0xffffffff
+
+let sattr_encode e s =
+  let v = function Some x -> x | None -> unset in
+  Xdr.Enc.uint32 e (v s.s_mode);
+  Xdr.Enc.uint32 e (v s.s_uid);
+  Xdr.Enc.uint32 e (v s.s_gid);
+  Xdr.Enc.uint32 e (v s.s_size);
+  (* atime/mtime: not settable in this implementation *)
+  Xdr.Enc.uint32 e unset;
+  Xdr.Enc.uint32 e unset;
+  Xdr.Enc.uint32 e unset;
+  Xdr.Enc.uint32 e unset
+
+let sattr_decode d =
+  let field () =
+    let v = Xdr.Dec.uint32 d in
+    if v = unset then None else Some v
+  in
+  let s_mode = field () in
+  let s_uid = field () in
+  let s_gid = field () in
+  let s_size = field () in
+  let _ = field () and _ = field () and _ = field () and _ = field () in
+  { s_mode; s_uid; s_gid; s_size }
+
+(* --- readdir entries ------------------------------------------------ *)
+
+type dirent = { d_fileid : int; d_name : string; d_cookie : int }
+
+let direntries_encode e entries eof =
+  List.iter
+    (fun de ->
+      Xdr.Enc.bool e true;
+      Xdr.Enc.uint32 e de.d_fileid;
+      Xdr.Enc.string e de.d_name;
+      Xdr.Enc.uint32 e de.d_cookie)
+    entries;
+  Xdr.Enc.bool e false;
+  Xdr.Enc.bool e eof
+
+let direntries_decode d =
+  let rec go acc =
+    if Xdr.Dec.bool d then begin
+      let d_fileid = Xdr.Dec.uint32 d in
+      let d_name = Xdr.Dec.string d in
+      let d_cookie = Xdr.Dec.uint32 d in
+      go ({ d_fileid; d_name; d_cookie } :: acc)
+    end
+    else begin
+      let eof = Xdr.Dec.bool d in
+      (List.rev acc, eof)
+    end
+  in
+  go []
+
+type statfs_res = { tsize : int; bsize : int; total_blocks : int; bfree : int; bavail : int }
+
+let statfs_encode e s =
+  Xdr.Enc.uint32 e s.tsize;
+  Xdr.Enc.uint32 e s.bsize;
+  Xdr.Enc.uint32 e s.total_blocks;
+  Xdr.Enc.uint32 e s.bfree;
+  Xdr.Enc.uint32 e s.bavail
+
+let statfs_decode d =
+  let tsize = Xdr.Dec.uint32 d in
+  let bsize = Xdr.Dec.uint32 d in
+  let total_blocks = Xdr.Dec.uint32 d in
+  let bfree = Xdr.Dec.uint32 d in
+  let bavail = Xdr.Dec.uint32 d in
+  { tsize; bsize; total_blocks; bfree; bavail }

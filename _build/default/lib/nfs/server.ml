@@ -1,0 +1,322 @@
+module Rpc = Oncrpc.Rpc
+
+type op =
+  | Getattr
+  | Setattr
+  | Lookup
+  | Readlink
+  | Read
+  | Write
+  | Create
+  | Remove
+  | Rename
+  | Link
+  | Symlink
+  | Mkdir
+  | Rmdir
+  | Readdir
+  | Statfs
+
+let op_to_string = function
+  | Getattr -> "getattr"
+  | Setattr -> "setattr"
+  | Lookup -> "lookup"
+  | Readlink -> "readlink"
+  | Read -> "read"
+  | Write -> "write"
+  | Create -> "create"
+  | Remove -> "remove"
+  | Rename -> "rename"
+  | Link -> "link"
+  | Symlink -> "symlink"
+  | Mkdir -> "mkdir"
+  | Rmdir -> "rmdir"
+  | Readdir -> "readdir"
+  | Statfs -> "statfs"
+
+type hooks = {
+  authorize : conn:Rpc.conn_info -> fh:Proto.fh -> op:op -> (unit, int) result;
+  present_attr : conn:Rpc.conn_info -> Proto.fattr -> Proto.fattr;
+  rights : conn:Rpc.conn_info -> fh:Proto.fh -> int;
+}
+
+let no_hooks =
+  {
+    authorize = (fun ~conn:_ ~fh:_ ~op:_ -> Ok ());
+    present_attr = (fun ~conn:_ a -> a);
+    rights = (fun ~conn:_ ~fh:_ -> 7);
+  }
+
+type t = { fs : Ffs.Fs.t; mutable hooks : hooks }
+
+let create ~fs ?(hooks = no_hooks) () = { fs; hooks }
+let fs t = t.fs
+let set_hooks t hooks = t.hooks <- hooks
+
+let nfs_status_of_fs_error (e : Ffs.Fs.error) =
+  match e with
+  | Ffs.Fs.ENOENT -> Proto.nfserr_noent
+  | Ffs.Fs.ENOTDIR -> Proto.nfserr_notdir
+  | Ffs.Fs.EISDIR -> Proto.nfserr_isdir
+  | Ffs.Fs.EEXIST -> Proto.nfserr_exist
+  | Ffs.Fs.ENOSPC -> Proto.nfserr_nospc
+  | Ffs.Fs.ENOTEMPTY -> Proto.nfserr_notempty
+  | Ffs.Fs.EFBIG -> Proto.nfserr_fbig
+  | Ffs.Fs.EINVAL -> Proto.nfserr_io
+  | Ffs.Fs.ESTALE -> Proto.nfserr_stale
+  | Ffs.Fs.ENAMETOOLONG -> Proto.nfserr_nametoolong
+
+module Inode = Ffs.Inode
+
+let mode_type_bits = function
+  | Inode.Reg -> 0o100000
+  | Inode.Dir -> 0o040000
+  | Inode.Symlink -> 0o120000
+
+let fattr_of_attr t (a : Inode.attr) : Proto.fattr =
+  let bs = Ffs.Fs.block_size t.fs in
+  {
+    Proto.ftype =
+      (match a.Inode.a_kind with
+      | Inode.Reg -> Proto.NFREG
+      | Inode.Dir -> Proto.NFDIR
+      | Inode.Symlink -> Proto.NFLNK);
+    mode = mode_type_bits a.Inode.a_kind lor a.Inode.a_perms;
+    nlink = a.Inode.a_nlink;
+    uid = a.Inode.a_uid;
+    gid = a.Inode.a_gid;
+    size = a.Inode.a_size;
+    blocksize = bs;
+    blocks = (a.Inode.a_size + 511) / 512;
+    fsid = 1;
+    fileid = a.Inode.a_ino;
+    atime = a.Inode.a_atime;
+    mtime = a.Inode.a_mtime;
+    ctime = a.Inode.a_ctime;
+  }
+
+let fattr_of_ino t ino = fattr_of_attr t (Ffs.Fs.getattr t.fs ino)
+
+let fh_of t ino = { Proto.ino; gen = Ffs.Fs.generation t.fs ino }
+
+let root_fh t = fh_of t (Ffs.Fs.root t.fs)
+
+let check_fh t (fh : Proto.fh) =
+  if not (Ffs.Fs.valid_handle t.fs ~ino:fh.Proto.ino ~gen:fh.Proto.gen) then
+    raise (Proto.Nfs_error Proto.nfserr_stale)
+
+(* Encode a status-only reply, or status + body on success. *)
+let reply_status ?body status =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e status;
+  (match body with Some f when status = Proto.nfs_ok -> f e | _ -> ());
+  Ok (Xdr.Enc.to_string e)
+
+let run t ~conn ~fh ~op f =
+  match
+    check_fh t fh;
+    t.hooks.authorize ~conn ~fh ~op
+  with
+  | exception Proto.Nfs_error status -> reply_status status
+  | Error status -> reply_status status
+  | Ok () -> (
+    match f () with
+    | result -> result
+    | exception Proto.Nfs_error status -> reply_status status
+    | exception Ffs.Fs.Error (e, _) -> reply_status (nfs_status_of_fs_error e))
+
+let attr_body t conn attr e = Proto.fattr_encode e (t.hooks.present_attr ~conn attr)
+
+let diropres_body t conn ino e =
+  Proto.fh_encode e (fh_of t ino);
+  attr_body t conn (fattr_of_ino t ino) e
+
+let handle_nfs t ~conn ~proc ~args =
+  let d = Xdr.Dec.of_string args in
+  if proc = Proto.nfsproc_null then Ok ""
+  else if proc = Proto.nfsproc_getattr then begin
+    let fh = Proto.fh_decode d in
+    run t ~conn ~fh ~op:Getattr (fun () ->
+        reply_status Proto.nfs_ok ~body:(attr_body t conn (fattr_of_ino t fh.Proto.ino)))
+  end
+  else if proc = Proto.nfsproc_setattr then begin
+    let fh = Proto.fh_decode d in
+    let sattr = Proto.sattr_decode d in
+    run t ~conn ~fh ~op:Setattr (fun () ->
+        let attr =
+          Ffs.Fs.setattr t.fs fh.Proto.ino ?perms:sattr.Proto.s_mode ?uid:sattr.Proto.s_uid
+            ?gid:sattr.Proto.s_gid ?size:sattr.Proto.s_size ()
+        in
+        reply_status Proto.nfs_ok ~body:(attr_body t conn (fattr_of_attr t attr)))
+  end
+  else if proc = Proto.nfsproc_lookup then begin
+    let fh = Proto.fh_decode d in
+    let name = Xdr.Dec.string d in
+    run t ~conn ~fh ~op:Lookup (fun () ->
+        let ino = Ffs.Fs.lookup t.fs fh.Proto.ino name in
+        reply_status Proto.nfs_ok ~body:(diropres_body t conn ino))
+  end
+  else if proc = Proto.nfsproc_readlink then begin
+    let fh = Proto.fh_decode d in
+    run t ~conn ~fh ~op:Readlink (fun () ->
+        let target = Ffs.Fs.readlink t.fs fh.Proto.ino in
+        reply_status Proto.nfs_ok ~body:(fun e -> Xdr.Enc.string e target))
+  end
+  else if proc = Proto.nfsproc_read then begin
+    let fh = Proto.fh_decode d in
+    let offset = Xdr.Dec.uint32 d in
+    let count = Xdr.Dec.uint32 d in
+    let _totalcount = Xdr.Dec.uint32 d in
+    run t ~conn ~fh ~op:Read (fun () ->
+        let count = min count Proto.max_data in
+        let data = Ffs.Fs.read t.fs fh.Proto.ino ~off:offset ~len:count in
+        reply_status Proto.nfs_ok ~body:(fun e ->
+            attr_body t conn (fattr_of_ino t fh.Proto.ino) e;
+            Xdr.Enc.opaque e data))
+  end
+  else if proc = Proto.nfsproc_writecache then Ok ""
+  else if proc = Proto.nfsproc_write then begin
+    let fh = Proto.fh_decode d in
+    let _beginoffset = Xdr.Dec.uint32 d in
+    let offset = Xdr.Dec.uint32 d in
+    let _totalcount = Xdr.Dec.uint32 d in
+    let data = Xdr.Dec.opaque d in
+    run t ~conn ~fh ~op:Write (fun () ->
+        Ffs.Fs.write t.fs fh.Proto.ino ~off:offset data;
+        reply_status Proto.nfs_ok ~body:(attr_body t conn (fattr_of_ino t fh.Proto.ino)))
+  end
+  else if proc = Proto.nfsproc_create || proc = Proto.nfsproc_mkdir then begin
+    let fh = Proto.fh_decode d in
+    let name = Xdr.Dec.string d in
+    let sattr = Proto.sattr_decode d in
+    let op = if proc = Proto.nfsproc_create then Create else Mkdir in
+    run t ~conn ~fh ~op (fun () ->
+        let perms = match sattr.Proto.s_mode with Some m -> m land 0o7777 | None -> 0o644 in
+        let uid = match sattr.Proto.s_uid with Some u -> u | None -> conn.Rpc.uid in
+        let make =
+          if proc = Proto.nfsproc_create then Ffs.Fs.create_file else Ffs.Fs.mkdir
+        in
+        let ino = make t.fs fh.Proto.ino name ~perms ~uid in
+        reply_status Proto.nfs_ok ~body:(diropres_body t conn ino))
+  end
+  else if proc = Proto.nfsproc_remove || proc = Proto.nfsproc_rmdir then begin
+    let fh = Proto.fh_decode d in
+    let name = Xdr.Dec.string d in
+    let op = if proc = Proto.nfsproc_remove then Remove else Rmdir in
+    run t ~conn ~fh ~op (fun () ->
+        (if proc = Proto.nfsproc_remove then Ffs.Fs.remove else Ffs.Fs.rmdir)
+          t.fs fh.Proto.ino name;
+        reply_status Proto.nfs_ok)
+  end
+  else if proc = Proto.nfsproc_rename then begin
+    let src_fh = Proto.fh_decode d in
+    let src_name = Xdr.Dec.string d in
+    let dst_fh = Proto.fh_decode d in
+    let dst_name = Xdr.Dec.string d in
+    run t ~conn ~fh:src_fh ~op:Rename (fun () ->
+        match
+          check_fh t dst_fh;
+          t.hooks.authorize ~conn ~fh:dst_fh ~op:Rename
+        with
+        | Error status -> reply_status status
+        | Ok () ->
+          Ffs.Fs.rename t.fs src_fh.Proto.ino src_name dst_fh.Proto.ino dst_name;
+          reply_status Proto.nfs_ok)
+  end
+  else if proc = Proto.nfsproc_link then begin
+    let target_fh = Proto.fh_decode d in
+    let dir_fh = Proto.fh_decode d in
+    let name = Xdr.Dec.string d in
+    run t ~conn ~fh:dir_fh ~op:Link (fun () ->
+        check_fh t target_fh;
+        Ffs.Fs.link t.fs dir_fh.Proto.ino name ~target:target_fh.Proto.ino;
+        reply_status Proto.nfs_ok)
+  end
+  else if proc = Proto.nfsproc_symlink then begin
+    let fh = Proto.fh_decode d in
+    let name = Xdr.Dec.string d in
+    let target = Xdr.Dec.string d in
+    let _sattr = Proto.sattr_decode d in
+    run t ~conn ~fh ~op:Symlink (fun () ->
+        ignore (Ffs.Fs.symlink t.fs fh.Proto.ino name ~target ~uid:conn.Rpc.uid);
+        reply_status Proto.nfs_ok)
+  end
+  else if proc = Proto.nfsproc_readdir then begin
+    let fh = Proto.fh_decode d in
+    let cookie = Xdr.Dec.uint32 d in
+    let count = Xdr.Dec.uint32 d in
+    run t ~conn ~fh ~op:Readdir (fun () ->
+        let entries = Ffs.Fs.readdir t.fs fh.Proto.ino in
+        let entries = List.filteri (fun i _ -> i >= cookie) entries in
+        (* Respect the client's byte budget approximately. *)
+        let budget = ref (max count 512) in
+        let taken = ref [] in
+        let idx = ref cookie in
+        List.iter
+          (fun (name, ino) ->
+            let sz = 16 + String.length name in
+            if !budget >= sz then begin
+              budget := !budget - sz;
+              incr idx;
+              taken := { Proto.d_fileid = ino; d_name = name; d_cookie = !idx } :: !taken
+            end)
+          entries;
+        let taken = List.rev !taken in
+        let eof = List.length taken = List.length entries in
+        reply_status Proto.nfs_ok ~body:(fun e -> Proto.direntries_encode e taken eof))
+  end
+  else if proc = Proto.nfsproc_access then begin
+    let fh = Proto.fh_decode d in
+    let wanted = Xdr.Dec.uint32 d in
+    run t ~conn ~fh ~op:Getattr (fun () ->
+        let bits = t.hooks.rights ~conn ~fh in
+        let granted = ref 0 in
+        if bits land 4 = 4 then granted := !granted lor Proto.access_read;
+        if bits land 2 = 2 then
+          granted := !granted lor Proto.access_modify lor Proto.access_extend lor Proto.access_delete;
+        if bits land 1 = 1 then
+          granted := !granted lor Proto.access_lookup lor Proto.access_execute;
+        reply_status Proto.nfs_ok ~body:(fun e -> Xdr.Enc.uint32 e (!granted land wanted)))
+  end
+  else if proc = Proto.nfsproc_statfs then begin
+    let fh = Proto.fh_decode d in
+    run t ~conn ~fh ~op:Statfs (fun () ->
+        let s = Ffs.Fs.statfs t.fs in
+        reply_status Proto.nfs_ok ~body:(fun e ->
+            Proto.statfs_encode e
+              {
+                Proto.tsize = Proto.max_data;
+                bsize = s.Ffs.Fs.f_block_size;
+                total_blocks = s.Ffs.Fs.f_total_blocks;
+                bfree = s.Ffs.Fs.f_free_blocks;
+                bavail = s.Ffs.Fs.f_free_blocks;
+              }))
+  end
+  else if proc = Proto.nfsproc_root then Error Rpc.Proc_unavail (* obsolete in v2 *)
+  else Error Rpc.Proc_unavail
+
+let handle_mount t ~conn ~proc ~args =
+  ignore conn;
+  let d = Xdr.Dec.of_string args in
+  if proc = 0 then Ok ""
+  else if proc = Proto.mountproc_mnt then begin
+    let path = Xdr.Dec.string d in
+    match Ffs.Fs.resolve t.fs path with
+    | ino ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.uint32 e 0 (* status ok *);
+      Proto.fh_encode e (fh_of t ino);
+      Ok (Xdr.Enc.to_string e)
+    | exception Ffs.Fs.Error (err, _) ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.uint32 e (nfs_status_of_fs_error err);
+      Ok (Xdr.Enc.to_string e)
+  end
+  else if proc = Proto.mountproc_umnt then Ok ""
+  else Error Rpc.Proc_unavail
+
+let attach t rpc_server =
+  Rpc.register rpc_server ~prog:Proto.nfs_prog ~vers:Proto.nfs_vers (fun ~conn ~proc ~args ->
+      handle_nfs t ~conn ~proc ~args);
+  Rpc.register rpc_server ~prog:Proto.mount_prog ~vers:Proto.mount_vers
+    (fun ~conn ~proc ~args -> handle_mount t ~conn ~proc ~args)

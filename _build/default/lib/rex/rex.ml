@@ -1,0 +1,149 @@
+exception Syntax_error of string
+
+type node =
+  | Lit of char
+  | Any
+  | Class of bool * (char * char) list (* negated, ranges *)
+  | Bol
+  | Eol
+  | Seq of node list
+  | Alt of node * node
+  | Star of node
+  | Plus of node
+  | Opt of node
+
+type t = node
+
+(* Recursive-descent parser over a mutable cursor. *)
+type cursor = { pat : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.pat then Some c.pat.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let fail msg = raise (Syntax_error msg)
+
+let parse_class c =
+  (* '[' already consumed *)
+  let negated =
+    match peek c with
+    | Some '^' -> advance c; true
+    | _ -> false
+  in
+  let ranges = ref [] in
+  let add lo hi = ranges := (lo, hi) :: !ranges in
+  (* A leading ']' is a literal member, per POSIX. *)
+  (match peek c with
+  | Some ']' -> advance c; add ']' ']'
+  | _ -> ());
+  let rec loop () =
+    match peek c with
+    | None -> fail "unterminated character class"
+    | Some ']' -> advance c
+    | Some ch ->
+      advance c;
+      (match peek c with
+      | Some '-' when c.pos + 1 < String.length c.pat && c.pat.[c.pos + 1] <> ']' ->
+        advance c;
+        (match peek c with
+        | Some hi ->
+          advance c;
+          if hi < ch then fail "inverted range in character class";
+          add ch hi
+        | None -> fail "unterminated character class")
+      | _ -> add ch ch);
+      loop ()
+  in
+  loop ();
+  Class (negated, List.rev !ranges)
+
+let rec parse_alt c =
+  let left = parse_seq c in
+  match peek c with
+  | Some '|' ->
+    advance c;
+    Alt (left, parse_alt c)
+  | _ -> left
+
+and parse_seq c =
+  let rec loop acc =
+    match peek c with
+    | None | Some '|' | Some ')' -> Seq (List.rev acc)
+    | _ -> loop (parse_repeat c :: acc)
+  in
+  loop []
+
+and parse_repeat c =
+  let atom = parse_atom c in
+  let rec wrap node =
+    match peek c with
+    | Some '*' -> advance c; wrap (Star node)
+    | Some '+' -> advance c; wrap (Plus node)
+    | Some '?' -> advance c; wrap (Opt node)
+    | _ -> node
+  in
+  wrap atom
+
+and parse_atom c =
+  match peek c with
+  | None -> fail "expected atom"
+  | Some '(' ->
+    advance c;
+    let inner = parse_alt c in
+    (match peek c with
+    | Some ')' -> advance c; inner
+    | _ -> fail "unbalanced parenthesis")
+  | Some ')' -> fail "unexpected ')'"
+  | Some '[' -> advance c; parse_class c
+  | Some '.' -> advance c; Any
+  | Some '^' -> advance c; Bol
+  | Some '$' -> advance c; Eol
+  | Some ('*' | '+' | '?') -> fail "repeat with nothing to repeat"
+  | Some '\\' ->
+    advance c;
+    (match peek c with
+    | Some ch -> advance c; Lit ch
+    | None -> fail "trailing backslash")
+  | Some ch -> advance c; Lit ch
+
+let compile pat =
+  let c = { pat; pos = 0 } in
+  let node = parse_alt c in
+  if c.pos <> String.length pat then fail "unexpected ')'";
+  node
+
+let class_member ch ranges = List.exists (fun (lo, hi) -> lo <= ch && ch <= hi) ranges
+
+(* Backtracking matcher in CPS: [try_match node s pos k] succeeds if
+   [node] matches at [pos] and the continuation accepts the end
+   position. *)
+let rec try_match node s pos k =
+  match node with
+  | Lit ch -> pos < String.length s && s.[pos] = ch && k (pos + 1)
+  | Any -> pos < String.length s && k (pos + 1)
+  | Class (negated, ranges) ->
+    pos < String.length s && class_member s.[pos] ranges <> negated && k (pos + 1)
+  | Bol -> pos = 0 && k pos
+  | Eol -> pos = String.length s && k pos
+  | Seq nodes ->
+    let rec go nodes pos =
+      match nodes with
+      | [] -> k pos
+      | n :: rest -> try_match n s pos (fun pos' -> go rest pos')
+    in
+    go nodes pos
+  | Alt (a, b) -> try_match a s pos k || try_match b s pos k
+  | Opt n -> try_match n s pos k || k pos
+  | Star n ->
+    (* Greedy, but guard against zero-width loops. *)
+    let rec go pos =
+      try_match n s pos (fun pos' -> pos' > pos && go pos') || k pos
+    in
+    go pos
+  | Plus n -> try_match n s pos (fun pos' -> try_match (Star n) s pos' k)
+
+let search re s =
+  let n = String.length s in
+  let rec from pos = pos <= n && (try_match re s pos (fun _ -> true) || from (pos + 1)) in
+  from 0
+
+let matches pattern s = search (compile pattern) s

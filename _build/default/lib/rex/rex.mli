@@ -1,0 +1,21 @@
+(** A small backtracking regular-expression engine covering the POSIX
+    subset KeyNote's [~=] operator needs: literals, [.], character
+    classes [[a-z]] / [[^a-z]], anchors [^] [$], grouping, alternation
+    [|], and the repeats [*] [+] [?]. Backslash escapes the next
+    character. *)
+
+type t
+
+exception Syntax_error of string
+(** Raised by {!compile} with a description of the malformed
+    pattern. *)
+
+val compile : string -> t
+
+val search : t -> string -> bool
+(** [search re s] is true if [re] matches anywhere in [s] (POSIX
+    re_match semantics, as used by KeyNote). *)
+
+val matches : string -> string -> bool
+(** [matches pattern s] compiles and searches in one step. Raises
+    {!Syntax_error} on a bad pattern. *)

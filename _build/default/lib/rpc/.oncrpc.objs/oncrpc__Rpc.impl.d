@@ -1,0 +1,1 @@
+lib/rpc/rpc.ml: Fun Hashtbl Printf Simnet String Xdr

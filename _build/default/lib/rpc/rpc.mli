@@ -1,0 +1,58 @@
+(** ONC RPC (RFC 5531 subset) over a simulated link.
+
+    Calls are fully marshalled to XDR bytes, optionally wrapped by a
+    channel transform (the IPsec ESP layer), transmitted over the
+    {!Simnet.Link} (which charges virtual wire time), unwrapped and
+    dispatched. The server charges per-call marshalling/dispatch CPU
+    from the cost model.
+
+    A connection carries a [peer] principal string: the identity the
+    secure channel was authenticated to (empty for plaintext
+    connections). DisCFS reads the requesting public key from it, as
+    the paper's server learns the IKE-authenticated key of the
+    client. *)
+
+type fault =
+  | Prog_unavail
+  | Proc_unavail
+  | Garbage_args
+  | System_err of string
+
+type conn_info = { peer : string; uid : int }
+(** [peer]: channel-authenticated principal; [uid]: the AUTH_UNIX uid
+    claimed in the call credential. *)
+
+type handler = conn:conn_info -> proc:int -> args:string -> (string, fault) result
+
+type server
+
+val server : clock:Simnet.Clock.t -> cost:Simnet.Cost.t -> stats:Simnet.Stats.t -> server
+val register : server -> prog:int -> vers:int -> handler -> unit
+
+type client
+
+type channel = {
+  client_seal : string -> string;
+  server_open : string -> string;
+  server_seal : string -> string;
+  client_open : string -> string;
+}
+(** Directional wire transforms (the ESP layer): requests are sealed
+    by the client and opened by the server, replies the reverse. The
+    transforms run "inside" the simulated hosts, so any virtual time
+    they charge lands on the right side. *)
+
+val plaintext : channel
+(** Identity transforms. *)
+
+val connect :
+  link:Simnet.Link.t -> ?channel:channel -> ?peer:string -> ?uid:int -> server -> client
+
+exception Rpc_error of fault
+
+val call : client -> prog:int -> vers:int -> proc:int -> string -> string
+(** Marshal, transmit, dispatch, return the result bytes. Raises
+    {!Rpc_error} on RPC-level failure and [Xdr.Decode_error] on a
+    malformed reply. *)
+
+val calls_made : server -> int

@@ -1,0 +1,1 @@
+lib/simnet/link.ml: Clock Cost Stats

@@ -1,0 +1,15 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+let now t = t.now
+
+let advance t dt =
+  if dt < 0.0 then invalid_arg "Clock.advance: negative dt";
+  t.now <- t.now +. dt
+
+let reset t = t.now <- 0.0
+
+let time t f =
+  let start = t.now in
+  let result = f () in
+  (result, t.now -. start)

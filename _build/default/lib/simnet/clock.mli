@@ -1,0 +1,20 @@
+(** Virtual time. Every simulated component (disk, wire, crypto CPU,
+    policy engine) advances a shared clock, making benchmark results
+    deterministic and independent of host speed. *)
+
+type t
+
+val create : unit -> t
+(** A clock at time 0.0. *)
+
+val now : t -> float
+(** Seconds of simulated time elapsed. *)
+
+val advance : t -> float -> unit
+(** Add [dt] seconds. Raises [Invalid_argument] on negative [dt]. *)
+
+val reset : t -> unit
+
+val time : t -> (unit -> 'a) -> 'a * float
+(** [time t f] runs [f] and returns its result with the simulated
+    seconds it consumed. *)

@@ -1,0 +1,35 @@
+(** The timing model: calibrated to the paper's testbed (450 MHz PIII
+    server, 400 MHz PII client, 100 Mbps Ethernet, Quantum Fireball
+    CT10 disk, OpenBSD 2.8). All values in seconds or bytes/second.
+
+    These constants set the *scale* of simulated results; the claims
+    we reproduce are comparative shapes (FFS vs CFS-NE vs DisCFS), so
+    modest inaccuracy here does not change any conclusion. *)
+
+type t = {
+  (* disk: Quantum Fireball CT10 class *)
+  disk_seek : float; (** average seek + rotational latency, s *)
+  disk_transfer_bps : float; (** sustained media rate, bytes/s *)
+  disk_op_overhead : float; (** per-request controller/driver cost, s *)
+  (* network: 100 Mbps switched Ethernet *)
+  net_latency : float; (** one-way wire + stack latency, s *)
+  net_bandwidth_bps : float; (** bytes/s on the wire *)
+  (* CPU costs *)
+  syscall : float; (** local syscall entry/exit, s *)
+  char_io : float; (** per-character stdio cost (getc/putc loop), s *)
+  rpc_overhead : float; (** XDR marshal + dispatch per call, s *)
+  rpc_per_byte : float; (** marshalling cost per payload byte, s *)
+  esp_per_packet : float; (** ESP encapsulation fixed cost, s *)
+  esp_per_byte : float; (** cipher+MAC cost per byte (fast transform), s *)
+  esp_tdes_per_byte : float; (** 3DES-CBC + HMAC-SHA1 cost per byte, s *)
+  ike_handshake : float; (** full IKE exchange incl. DSA + DH, s *)
+  keynote_query : float; (** uncached KeyNote compliance check (no signature work), s *)
+  keynote_cached : float; (** policy-cache hit, s *)
+  credential_verify : float; (** DSA signature check on submission, s *)
+}
+
+val default : t
+(** The 2001-era profile described above. *)
+
+val local_only : t
+(** Same disk/CPU but free networking — used for the FFS baseline. *)

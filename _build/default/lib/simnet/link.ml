@@ -1,0 +1,20 @@
+type t = { clock : Clock.t; cost : Cost.t; stats : Stats.t }
+
+let create ~clock ~cost ~stats = { clock; cost; stats }
+let clock t = t.clock
+let cost t = t.cost
+let stats t = t.stats
+
+let transmit t nbytes =
+  if nbytes < 0 then invalid_arg "Link.transmit: negative size";
+  let c = t.cost in
+  let serialization =
+    if c.Cost.net_bandwidth_bps = infinity then 0.0
+    else float_of_int nbytes /. c.Cost.net_bandwidth_bps
+  in
+  Clock.advance t.clock (c.Cost.net_latency +. serialization);
+  Stats.add t.stats "link.bytes" nbytes;
+  Stats.incr t.stats "link.messages"
+
+let bytes_sent t = Stats.get t.stats "link.bytes"
+let messages_sent t = Stats.get t.stats "link.messages"

@@ -1,0 +1,17 @@
+(** A duplex point-to-point link with latency and bandwidth, shared
+    by the RPC and IPsec layers. Transmitting advances the virtual
+    clock and counts traffic. *)
+
+type t
+
+val create : clock:Clock.t -> cost:Cost.t -> stats:Stats.t -> t
+val clock : t -> Clock.t
+val cost : t -> Cost.t
+val stats : t -> Stats.t
+
+val transmit : t -> int -> unit
+(** [transmit t nbytes] charges one one-way message of [nbytes]:
+    latency plus serialization at the link bandwidth. *)
+
+val bytes_sent : t -> int
+val messages_sent : t -> int

@@ -1,0 +1,1 @@
+lib/webfs/acl.mli:

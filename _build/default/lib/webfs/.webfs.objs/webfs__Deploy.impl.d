@@ -1,0 +1,1 @@
+lib/webfs/deploy.ml: Dcrypto Ffs Ipsec Nfs Oncrpc Server Simnet

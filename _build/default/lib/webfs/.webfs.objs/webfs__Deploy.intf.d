@@ -1,0 +1,1 @@
+lib/webfs/deploy.mli: Dcrypto Ffs Nfs Oncrpc Server Simnet

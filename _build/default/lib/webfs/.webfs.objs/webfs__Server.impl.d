@@ -1,0 +1,1 @@
+lib/webfs/server.ml: Acl Dcrypto Ffs Nfs Oncrpc Simnet

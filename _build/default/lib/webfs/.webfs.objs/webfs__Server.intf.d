@@ -1,0 +1,1 @@
+lib/webfs/server.mli: Acl Dcrypto Ffs Nfs Oncrpc

@@ -1,0 +1,45 @@
+module Clock = Simnet.Clock
+module Stats = Simnet.Stats
+module Link = Simnet.Link
+module Rpc = Oncrpc.Rpc
+module Drbg = Dcrypto.Drbg
+module Dsa = Dcrypto.Dsa
+
+type t = {
+  clock : Clock.t;
+  stats : Stats.t;
+  link : Link.t;
+  fs : Ffs.Fs.t;
+  rpc : Rpc.server;
+  server : Server.t;
+  drbg : Drbg.t;
+}
+
+let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
+    ?(ninodes = 8192) ?(seed = "webfs-deploy") () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let link = Link.create ~clock ~cost ~stats in
+  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  let fs = Ffs.Fs.create ~dev ~ninodes in
+  let drbg = Drbg.create ~seed in
+  let server_key = Dsa.generate_key drbg in
+  let server = Server.create ~fs ~server_key () in
+  let rpc = Rpc.server ~clock ~cost ~stats in
+  Server.attach_rpc server rpc;
+  { clock; stats; link; fs; rpc; server; drbg }
+
+let new_identity t = Dsa.generate_key t.drbg
+
+let principal pub = "dsa-hex:" ^ Dcrypto.Hexcodec.encode (Dsa.pub_encode pub)
+
+let attach t ~identity ?(uid = 1000) ?(path = "/") () =
+  let client_ep, server_ep =
+    Ipsec.Ike.establish ~link:t.link ~drbg:(Drbg.fork t.drbg ~label:"attach")
+      ~initiator:identity ~responder:(Server.server_key t.server) ()
+  in
+  let channel = Ipsec.Ike.rpc_channel ~client:client_ep ~server:server_ep in
+  let rpc_client = Rpc.connect ~link:t.link ~channel ~peer:server_ep.Ipsec.Ike.peer ~uid t.rpc in
+  let nfs = Nfs.Client.create rpc_client in
+  let root = Nfs.Client.mount nfs path in
+  (nfs, root, principal identity.Dsa.pub)

@@ -1,0 +1,97 @@
+exception Decode_error of string
+
+let pad_len n = (4 - (n mod 4)) mod 4
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+
+  let uint32 b v =
+    if v < 0 || v > 0xffffffff then invalid_arg "Xdr.Enc.uint32: out of range";
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr (v land 0xff))
+
+  let int32 b v =
+    if v < -0x80000000 || v > 0x7fffffff then invalid_arg "Xdr.Enc.int32: out of range";
+    uint32 b (v land 0xffffffff)
+
+  let uint64 b v =
+    for i = 7 downto 0 do
+      Buffer.add_char b (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (i * 8)) 0xffL)))
+    done
+
+  let bool b v = uint32 b (if v then 1 else 0)
+
+  let add_padded b s =
+    Buffer.add_string b s;
+    Buffer.add_string b (String.make (pad_len (String.length s)) '\000')
+
+  let opaque b s =
+    uint32 b (String.length s);
+    add_padded b s
+
+  let opaque_fixed b n s =
+    if String.length s <> n then invalid_arg "Xdr.Enc.opaque_fixed: length mismatch";
+    add_padded b s
+
+  let string = opaque
+  let raw = Buffer.add_string
+  let to_string = Buffer.contents
+end
+
+module Dec = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let need t n =
+    if t.pos + n > String.length t.data then raise (Decode_error "truncated XDR data")
+
+  let uint32 t =
+    need t 4;
+    let v =
+      (Char.code t.data.[t.pos] lsl 24)
+      lor (Char.code t.data.[t.pos + 1] lsl 16)
+      lor (Char.code t.data.[t.pos + 2] lsl 8)
+      lor Char.code t.data.[t.pos + 3]
+    in
+    t.pos <- t.pos + 4;
+    v
+
+  let int32 t =
+    let v = uint32 t in
+    if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+  let uint64 t =
+    need t 8;
+    let v = ref 0L in
+    for _ = 1 to 8 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code t.data.[t.pos]));
+      t.pos <- t.pos + 1
+    done;
+    !v
+
+  let bool t =
+    match uint32 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Decode_error (Printf.sprintf "bad boolean %d" n))
+
+  let take_padded t n =
+    need t (n + pad_len n);
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n + pad_len n;
+    s
+
+  let opaque t =
+    let n = uint32 t in
+    take_padded t n
+
+  let opaque_fixed t n = take_padded t n
+  let string = opaque
+  let remaining t = String.length t.data - t.pos
+  let expect_end t = if remaining t <> 0 then raise (Decode_error "trailing bytes")
+end

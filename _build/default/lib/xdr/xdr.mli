@@ -1,0 +1,50 @@
+(** XDR (RFC 4506) encoding, the wire format of ONC RPC and NFS.
+    Covers the subset those protocols need: 32/64-bit integers,
+    booleans, variable and fixed opaques/strings, with 4-byte
+    alignment padding. *)
+
+exception Decode_error of string
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+  val uint32 : t -> int -> unit
+  (** Raises [Invalid_argument] outside [0, 2^32). *)
+
+  val int32 : t -> int -> unit
+  (** Two's complement; raises outside [-2^31, 2^31). *)
+
+  val uint64 : t -> int64 -> unit
+  val bool : t -> bool -> unit
+  val opaque : t -> string -> unit
+  (** Variable-length opaque: u32 length + bytes + padding. *)
+
+  val opaque_fixed : t -> int -> string -> unit
+  (** Fixed-length opaque of exactly [n] bytes + padding. *)
+
+  val string : t -> string -> unit
+  (** Same encoding as {!opaque}. *)
+
+  val raw : t -> string -> unit
+  (** Append pre-marshalled bytes verbatim (no length, no padding);
+      used to nest one XDR body inside another message. *)
+
+  val to_string : t -> string
+end
+
+module Dec : sig
+  type t
+
+  val of_string : string -> t
+  val uint32 : t -> int
+  val int32 : t -> int
+  val uint64 : t -> int64
+  val bool : t -> bool
+  val opaque : t -> string
+  val opaque_fixed : t -> int -> string
+  val string : t -> string
+  val remaining : t -> int
+  val expect_end : t -> unit
+  (** Raises {!Decode_error} if bytes remain. *)
+end

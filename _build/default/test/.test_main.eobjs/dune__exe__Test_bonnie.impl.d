@@ -1,0 +1,1 @@
+test/test_bonnie.ml: Alcotest Bonnie Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_cfs.ml: Alcotest Cfs Dcrypto Ffs List Nfs QCheck QCheck_alcotest Simnet String

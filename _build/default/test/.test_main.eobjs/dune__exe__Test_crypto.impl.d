@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bignum Bytes Char Dcrypto Lazy List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_discfs.ml: Alcotest Discfs Keynote List Nfs Printf Simnet

@@ -1,0 +1,1 @@
+test/test_discfs_model.ml: Array Discfs Ffs List Nfs Printf QCheck QCheck_alcotest

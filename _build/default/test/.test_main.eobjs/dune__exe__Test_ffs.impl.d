@@ -1,0 +1,1 @@
+test/test_ffs.ml: Alcotest Bytes Char Ffs List Printf QCheck QCheck_alcotest Simnet String

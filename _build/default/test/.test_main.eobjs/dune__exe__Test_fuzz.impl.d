@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bytes Cfs Char Dcrypto Ffs Ipsec Keynote Lazy Nfs Oncrpc QCheck QCheck_alcotest Rex Simnet String Xdr

@@ -1,0 +1,1 @@
+test/test_keynote.ml: Alcotest Array Dcrypto Keynote Lazy List Printf QCheck QCheck_alcotest Rex Str_replace String

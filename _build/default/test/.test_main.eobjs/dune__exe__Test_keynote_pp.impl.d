@@ -1,0 +1,1 @@
+test/test_keynote_pp.ml: Alcotest Fun Keynote List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Cfs Char List Nfs Oncrpc Printf QCheck QCheck_alcotest Simnet String

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Char Dcrypto Discfs Ffs Keynote List Nfs Oncrpc Printf QCheck QCheck_alcotest Simnet String

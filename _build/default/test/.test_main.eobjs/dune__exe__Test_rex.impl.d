@@ -1,0 +1,1 @@
+test/test_rex.ml: Alcotest List QCheck QCheck_alcotest Rex String

@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Bytes Char Dcrypto Ipsec Keynote Oncrpc Printf QCheck QCheck_alcotest Simnet String Xdr

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Float QCheck QCheck_alcotest Simnet

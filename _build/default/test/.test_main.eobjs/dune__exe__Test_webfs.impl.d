@@ -1,0 +1,1 @@
+test/test_webfs.ml: Alcotest Dcrypto Ffs Keynote Nfs Webfs

@@ -1,0 +1,13 @@
+(* Tiny test helper: replace the first occurrence of a substring. *)
+
+let replace s ~from ~into =
+  let flen = String.length from in
+  let n = String.length s in
+  let rec find i =
+    if i + flen > n then None
+    else if String.sub s i flen = from then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ into ^ String.sub s (i + flen) (n - i - flen)

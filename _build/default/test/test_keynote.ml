@@ -1,0 +1,529 @@
+(* KeyNote trust-management engine tests: language parsing, condition
+   evaluation, assertion signing, and compliance checking over
+   delegation graphs (the paper's Figure 1 scenario and beyond). *)
+
+module Drbg = Dcrypto.Drbg
+module Dsa = Dcrypto.Dsa
+module Ast = Keynote.Ast
+module Parser = Keynote.Parser
+module Expr = Keynote.Expr
+module Assertion = Keynote.Assertion
+module Compliance = Keynote.Compliance
+module Session = Keynote.Session
+
+let octal_values = [ "false"; "X"; "W"; "WX"; "R"; "RX"; "RW"; "RWX" ]
+
+(* Shared identities (parameter generation amortized via lazy). *)
+let identities =
+  lazy
+    (let drbg = Drbg.create ~seed:"keynote-test-identities" in
+     let admin = Dsa.generate_key drbg in
+     let bob = Dsa.generate_key drbg in
+     let alice = Dsa.generate_key drbg in
+     let carol = Dsa.generate_key drbg in
+     (admin, bob, alice, carol))
+
+let key_str (k : Dsa.private_key) = Assertion.principal_of_pub k.Dsa.pub
+let quoted k = Printf.sprintf "\"%s\"" (key_str k)
+let drbg () = Drbg.create ~seed:"keynote-test-nonces"
+
+(* --- Expression evaluation ---------------------------------------- *)
+
+let env_of_list l name = List.assoc_opt name l
+
+let eval_test_str env s =
+  let prog = Parser.conditions s in
+  let value_index v = match v with "false" -> Some 0 | "true" -> Some 1 | _ -> None in
+  Expr.eval_program (env_of_list env) ~value_index ~max_index:1 prog = 1
+
+let test_numeric_ops () =
+  Alcotest.(check bool) "arith" true (eval_test_str [] "2 + 3 * 4 == 14");
+  Alcotest.(check bool) "precedence" true (eval_test_str [] "(2 + 3) * 4 == 20");
+  Alcotest.(check bool) "pow right assoc" true (eval_test_str [] "2 ^ 3 ^ 2 == 512");
+  Alcotest.(check bool) "mod" true (eval_test_str [] "17 % 5 == 2");
+  Alcotest.(check bool) "div" true (eval_test_str [] "10 / 4 == 2.5");
+  Alcotest.(check bool) "unary minus" true (eval_test_str [] "-3 + 5 == 2");
+  Alcotest.(check bool) "numeric compare" true (eval_test_str [] "9 < 10");
+  Alcotest.(check bool) "numeric strings compare as numbers" true (eval_test_str [] "\"9\" < \"10\"");
+  Alcotest.(check bool) "non-numeric strings compare lexicographically" true
+    (eval_test_str [] "\"a10\" < \"a9\"")
+
+let test_string_ops () =
+  Alcotest.(check bool) "string eq" true (eval_test_str [] "\"abc\" == \"abc\"");
+  Alcotest.(check bool) "string lt" true (eval_test_str [] "\"RW\" < \"RWX\"");
+  Alcotest.(check bool) "concat" true (eval_test_str [] "\"foo\" . \"bar\" == \"foobar\"");
+  Alcotest.(check bool) "numeric strings compare numerically" true
+    (eval_test_str [] "\"0900\" == \"900\"")
+
+let test_attributes () =
+  let env = [ ("app_domain", "DisCFS"); ("HANDLE", "666240"); ("hour", "14") ] in
+  Alcotest.(check bool) "attr eq" true (eval_test_str env "app_domain == \"DisCFS\"");
+  Alcotest.(check bool) "attr numeric" true (eval_test_str env "hour >= 9 && hour <= 17");
+  Alcotest.(check bool) "undefined attr is empty" true (eval_test_str env "missing == \"\"");
+  Alcotest.(check bool) "paper figure 5" true
+    (eval_test_str env "(app_domain == \"DisCFS\") && (HANDLE == \"666240\")");
+  Alcotest.(check bool) "deref" true
+    (eval_test_str (("which", "HANDLE") :: env) "$which == \"666240\"")
+
+let test_regex_op () =
+  let env = [ ("filename", "/discfs/docs/paper.tex") ] in
+  Alcotest.(check bool) "regex match" true (eval_test_str env "filename ~= \"^/discfs/docs/\"");
+  Alcotest.(check bool) "regex miss" false (eval_test_str env "filename ~= \"^/discfs/src/\"")
+
+let test_eval_errors_unsatisfy () =
+  (* Division by zero or non-numeric arithmetic must not grant. *)
+  Alcotest.(check bool) "div by zero" false (eval_test_str [] "1 / 0 == 1");
+  Alcotest.(check bool) "bad coercion" false (eval_test_str [] "\"abc\" + 1 == 1");
+  Alcotest.(check bool) "error isolated per clause" true
+    (eval_test_str [] "\"abc\" + 1 == 1 -> \"false\"; 1 == 1 -> \"true\"")
+
+let test_program_max_semantics () =
+  let prog = Parser.conditions
+      "perm == \"r\" -> \"R\"; perm == \"rw\" -> \"RW\"; app == \"DisCFS\" -> \"X\";"
+  in
+  let value_index v =
+    let rec idx i = function [] -> None | x :: r -> if x = v then Some i else idx (i + 1) r in
+    idx 0 octal_values
+  in
+  let env = env_of_list [ ("perm", "rw"); ("app", "DisCFS") ] in
+  (* Both the RW clause (6) and the X clause (1) fire: max wins. *)
+  Alcotest.(check int) "max of satisfied" 6 (Expr.eval_program env ~value_index ~max_index:7 prog)
+
+let test_nested_program () =
+  let prog = Parser.conditions
+      "app_domain == \"DisCFS\" -> { op == \"read\" -> \"R\"; op == \"write\" -> \"W\"; };"
+  in
+  let value_index v =
+    let rec idx i = function [] -> None | x :: r -> if x = v then Some i else idx (i + 1) r in
+    idx 0 octal_values
+  in
+  let check env expected =
+    Expr.eval_program (env_of_list env) ~value_index ~max_index:7 prog = expected
+  in
+  Alcotest.(check bool) "read" true (check [ ("app_domain", "DisCFS"); ("op", "read") ] 4);
+  Alcotest.(check bool) "write" true (check [ ("app_domain", "DisCFS"); ("op", "write") ] 2);
+  Alcotest.(check bool) "wrong domain" true (check [ ("app_domain", "other"); ("op", "read") ] 0)
+
+let test_special_attributes () =
+  let admin, bob, _, _ = Lazy.force identities in
+  let policy = [ Keynote.Assertion.policy ~licensees:(quoted admin) ~conditions:"true;" () ] in
+  let check conditions attrs expected =
+    let cred = Assertion.issue ~key:admin ~drbg:(drbg ()) ~licensees:(quoted bob) ~conditions () in
+    let r =
+      Compliance.check ~policy ~credentials:[ cred ]
+        { Compliance.requesters = [ key_str bob ]; attributes = attrs; values = octal_values }
+    in
+    Alcotest.(check string) conditions expected r.Compliance.value
+  in
+  (* A clause with no explicit value means _MAX_TRUST (RFC 2704);
+     _MIN_TRUST/_MAX_TRUST read as the endpoints of the value order. *)
+  check "true;" [] "RWX";
+  check "app == _MIN_TRUST -> \"R\";" [ ("app", "false") ] "R";
+  check "app == _MAX_TRUST -> \"R\";" [ ("app", "RWX") ] "R";
+  (* _VALUES lists the ordered set. *)
+  check "_VALUES ~= \"RWX\" -> \"W\";" [] "W";
+  (* _ACTION_AUTHORIZERS names the requesters. *)
+  let cred =
+    Assertion.issue ~key:admin ~drbg:(drbg ()) ~licensees:(quoted bob)
+      ~conditions:(Printf.sprintf "_ACTION_AUTHORIZERS ~= \"%s\" -> \"X\";"
+                     (String.sub (key_str bob) 0 20))
+      ()
+  in
+  let r =
+    Compliance.check ~policy ~credentials:[ cred ]
+      { Compliance.requesters = [ key_str bob ]; attributes = []; values = octal_values }
+  in
+  Alcotest.(check string) "_ACTION_AUTHORIZERS" "X" r.Compliance.value
+
+(* --- Licensees parsing --------------------------------------------- *)
+
+let test_licensees_parse () =
+  let l = Parser.licensees "\"k1\" && (\"k2\" || \"k3\")" in
+  (match l with
+  | Ast.And (Ast.Principal "k1", Ast.Or (Ast.Principal "k2", Ast.Principal "k3")) -> ()
+  | _ -> Alcotest.fail "unexpected licensees structure");
+  let t = Parser.licensees "2-of(\"a\", \"b\", \"c\")" in
+  (match t with
+  | Ast.Threshold (2, [ Ast.Principal "a"; Ast.Principal "b"; Ast.Principal "c" ]) -> ()
+  | _ -> Alcotest.fail "unexpected threshold structure");
+  (match Parser.licensees "POLICY" with
+  | Ast.Principal "POLICY" -> ()
+  | _ -> Alcotest.fail "identifier principal");
+  Alcotest.check_raises "bad threshold k"
+    (Parser.Parse_error "threshold K must be a positive integer") (fun () ->
+      ignore (Parser.licensees "0-of(\"a\")"))
+
+let test_licensees_resolve () =
+  let resolve = function "BOB" -> "dsa-hex:bb" | other -> other in
+  match Parser.licensees ~resolve "BOB || \"dsa-hex:aa\"" with
+  | Ast.Or (Ast.Principal "dsa-hex:bb", Ast.Principal "dsa-hex:aa") -> ()
+  | _ -> Alcotest.fail "local-constant resolution failed"
+
+(* --- Assertions ----------------------------------------------------- *)
+
+let test_assertion_parse_figure5 () =
+  (* Shape of the paper's Figure 5 credential. *)
+  let text =
+    "KeyNote-Version: 2\n\
+     Authorizer: \"dsa-hex:3081de0240503ca3\"\n\
+     Licensees: \"dsa-hex:3081de02405be60a\"\n\
+     Conditions: (app_domain == \"DisCFS\") &&\n\
+     \t(HANDLE == \"666240\") -> \"RWX\";\n\
+     Comment: testdir\n"
+  in
+  let a = Assertion.parse text in
+  Alcotest.(check string) "authorizer" "dsa-hex:3081de0240503ca3" a.Assertion.authorizer;
+  Alcotest.(check (option string)) "comment" (Some "testdir") a.Assertion.comment;
+  (match a.Assertion.licensees with
+  | Some (Ast.Principal "dsa-hex:3081de02405be60a") -> ()
+  | _ -> Alcotest.fail "licensees");
+  Alcotest.(check bool) "conditions parsed" true (a.Assertion.conditions <> None);
+  Alcotest.(check bool) "unsigned doesn't verify" false (Assertion.verify a)
+
+let test_assertion_sign_verify () =
+  let admin, bob, _, _ = Lazy.force identities in
+  let cred =
+    Assertion.issue ~key:admin ~drbg:(drbg ()) ~comment:"testdir"
+      ~licensees:(quoted bob)
+      ~conditions:"(app_domain == \"DisCFS\") && (HANDLE == \"666240\") -> \"RWX\";" ()
+  in
+  Alcotest.(check bool) "verifies" true (Assertion.verify cred);
+  Alcotest.(check bool) "signed_by admin" true (Assertion.signed_by cred admin.Dsa.pub);
+  Alcotest.(check bool) "not signed_by bob" false (Assertion.signed_by cred bob.Dsa.pub);
+  (* Roundtrip through text. *)
+  let reparsed = Assertion.parse (Assertion.to_text cred) in
+  Alcotest.(check bool) "reparse verifies" true (Assertion.verify reparsed);
+  Alcotest.(check string) "stable fingerprint" (Assertion.fingerprint cred)
+    (Assertion.fingerprint reparsed)
+
+let test_sha256_signatures () =
+  let admin, bob, _, _ = Lazy.force identities in
+  let cred =
+    Assertion.issue ~key:admin ~drbg:(drbg ()) ~alg:`Dsa_sha256 ~licensees:(quoted bob)
+      ~conditions:"true -> \"R\";" ()
+  in
+  Alcotest.(check bool) "sha256 signature verifies" true (Assertion.verify cred);
+  Alcotest.(check bool) "text says sha256" true
+    (Rex.matches "sig-dsa-sha256-hex:" (Assertion.to_text cred));
+  (* It drives a compliance check like any other credential. *)
+  let r =
+    Compliance.check
+      ~policy:[ Assertion.policy ~licensees:(quoted admin) ~conditions:"true;" () ]
+      ~credentials:[ cred ]
+      { Compliance.requesters = [ key_str bob ]; attributes = []; values = octal_values }
+  in
+  Alcotest.(check string) "grants" "R" r.Compliance.value;
+  (* Tampering is caught for the sha256 variant too. *)
+  let bad = Assertion.parse (Str_replace.replace (Assertion.to_text cred) ~from:"\"R\"" ~into:"\"RWX\"") in
+  Alcotest.(check bool) "tamper detected" false (Assertion.verify bad)
+
+let test_assertion_tamper () =
+  let admin, bob, _, _ = Lazy.force identities in
+  let cred =
+    Assertion.issue ~key:admin ~drbg:(drbg ()) ~licensees:(quoted bob)
+      ~conditions:"HANDLE == \"42\" -> \"R\";" ()
+  in
+  (* Swap the handle in the credential text: signature must fail. *)
+  let tampered_text =
+    Str_replace.replace (Assertion.to_text cred) ~from:"\"42\"" ~into:"\"43\""
+  in
+  let tampered = Assertion.parse tampered_text in
+  Alcotest.(check bool) "tampered fails" false (Assertion.verify tampered)
+
+let test_assertion_parse_errors () =
+  let expect_error text =
+    match Assertion.parse text with
+    | exception Assertion.Parse_error _ -> ()
+    | _ -> Alcotest.failf "should not parse: %S" text
+  in
+  List.iter expect_error
+    [
+      "";
+      "Licensees: \"k\"\n"; (* missing authorizer *)
+      "Authorizer: \"a\" \"b\"\n"; (* two principals *)
+      "not a field line\n";
+      "Authorizer: \"a\"\nConditions: ((\n";
+      "\tcontinuation first\n";
+    ]
+
+let test_local_constants () =
+  let admin, bob, _, _ = Lazy.force identities in
+  let cred =
+    Assertion.issue ~key:admin ~drbg:(drbg ())
+      ~local_constants:[ ("BOB", key_str bob); ("LIMIT", "17") ]
+      ~licensees:"BOB"
+      ~conditions:"hour <= LIMIT -> \"R\";" ()
+  in
+  Alcotest.(check bool) "verifies" true (Assertion.verify cred);
+  (match cred.Assertion.licensees with
+  | Some (Ast.Principal p) ->
+    Alcotest.(check bool) "constant resolved to key" true (Ast.principal_equal p (key_str bob))
+  | _ -> Alcotest.fail "licensees");
+  (* LIMIT must shadow any action attribute of the same name. *)
+  let result =
+    Compliance.check ~policy:[ Keynote.Assertion.policy ~licensees:(quoted admin) ~conditions:"true;" () ]
+      ~credentials:[ cred ]
+      {
+        Compliance.requesters = [ key_str bob ];
+        attributes = [ ("hour", "12"); ("LIMIT", "3") ];
+        values = octal_values;
+      }
+  in
+  Alcotest.(check string) "shadowing grants R" "R" result.Compliance.value
+
+(* --- Compliance ----------------------------------------------------- *)
+
+let policy_trusting key =
+  Assertion.policy ~licensees:(Printf.sprintf "\"%s\"" (key_str key)) ~conditions:"true;" ()
+
+let make_query ?(attrs = []) requesters =
+  { Compliance.requesters = List.map key_str requesters; attributes = attrs; values = octal_values }
+
+let test_direct_authorization () =
+  let admin, bob, _, _ = Lazy.force identities in
+  let result = Compliance.check ~policy:[ policy_trusting admin ] ~credentials:[] (make_query [ admin ]) in
+  Alcotest.(check string) "admin is max" "RWX" result.Compliance.value;
+  let result2 = Compliance.check ~policy:[ policy_trusting admin ] ~credentials:[] (make_query [ bob ]) in
+  Alcotest.(check string) "stranger denied" "false" result2.Compliance.value
+
+let test_delegation_chain_figure1 () =
+  (* Figure 1: administrator -> Bob (RW) -> Alice (R). *)
+  let admin, bob, alice, _ = Lazy.force identities in
+  let attrs = [ ("app_domain", "DisCFS"); ("HANDLE", "666240") ] in
+  let cred_bob =
+    Assertion.issue ~key:admin ~drbg:(drbg ()) ~licensees:(quoted bob)
+      ~conditions:"(app_domain == \"DisCFS\") && (HANDLE == \"666240\") -> \"RW\";" ()
+  in
+  let cred_alice =
+    Assertion.issue ~key:bob ~drbg:(drbg ()) ~licensees:(quoted alice)
+      ~conditions:"(app_domain == \"DisCFS\") && (HANDLE == \"666240\") -> \"R\";" ()
+  in
+  let policy = [ policy_trusting admin ] in
+  (* Alice with both credentials: R. *)
+  let r = Compliance.check ~policy ~credentials:[ cred_bob; cred_alice ] (make_query ~attrs [ alice ]) in
+  Alcotest.(check string) "alice gets R" "R" r.Compliance.value;
+  (* Alice without Bob's own credential: the chain is broken. *)
+  let r2 = Compliance.check ~policy ~credentials:[ cred_alice ] (make_query ~attrs [ alice ]) in
+  Alcotest.(check string) "broken chain denied" "false" r2.Compliance.value;
+  (* Bob with his credential: RW. *)
+  let r3 = Compliance.check ~policy ~credentials:[ cred_bob ] (make_query ~attrs [ bob ]) in
+  Alcotest.(check string) "bob gets RW" "RW" r3.Compliance.value;
+  (* Delegation cannot amplify: even if Bob grants Alice RWX, she is
+     capped by Bob's own RW. *)
+  let cred_alice_rwx =
+    Assertion.issue ~key:bob ~drbg:(drbg ()) ~licensees:(quoted alice)
+      ~conditions:"(app_domain == \"DisCFS\") && (HANDLE == \"666240\") -> \"RWX\";" ()
+  in
+  let r4 =
+    Compliance.check ~policy ~credentials:[ cred_bob; cred_alice_rwx ] (make_query ~attrs [ alice ])
+  in
+  Alcotest.(check string) "no amplification" "RW" r4.Compliance.value;
+  (* Wrong handle: denied. *)
+  let r5 =
+    Compliance.check ~policy ~credentials:[ cred_bob; cred_alice ]
+      (make_query ~attrs:[ ("app_domain", "DisCFS"); ("HANDLE", "999") ] [ alice ])
+  in
+  Alcotest.(check string) "wrong handle denied" "false" r5.Compliance.value
+
+let test_long_chain () =
+  (* Chains of arbitrary length work (unlike the Exokernel's 8-level cap). *)
+  let admin, _, _, _ = Lazy.force identities in
+  let d = Drbg.create ~seed:"long-chain-keys" in
+  let keys = Array.init 12 (fun _ -> Dsa.generate_key d) in
+  let conditions = "app_domain == \"DisCFS\" -> \"R\";" in
+  let creds = ref [] in
+  let issuer = ref admin in
+  Array.iter
+    (fun k ->
+      creds :=
+        Assertion.issue ~key:!issuer ~drbg:(drbg ())
+          ~licensees:(quoted k) ~conditions ()
+        :: !creds;
+      issuer := k)
+    keys;
+  let final = keys.(Array.length keys - 1) in
+  let r =
+    Compliance.check ~policy:[ policy_trusting admin ] ~credentials:!creds
+      (make_query ~attrs:[ ("app_domain", "DisCFS") ] [ final ])
+  in
+  Alcotest.(check string) "12-link chain grants" "R" r.Compliance.value
+
+let test_threshold () =
+  let admin, bob, alice, carol = Lazy.force identities in
+  let cred =
+    Assertion.issue ~key:admin ~drbg:(drbg ())
+      ~licensees:
+        (Printf.sprintf "2-of(%s, %s, %s)" (quoted bob) (quoted alice) (quoted carol))
+      ~conditions:"true -> \"RW\";" ()
+  in
+  let policy = [ policy_trusting admin ] in
+  let r1 = Compliance.check ~policy ~credentials:[ cred ] (make_query [ bob; alice ]) in
+  Alcotest.(check string) "two signers pass" "RW" r1.Compliance.value;
+  let r2 = Compliance.check ~policy ~credentials:[ cred ] (make_query [ bob ]) in
+  Alcotest.(check string) "one signer fails" "false" r2.Compliance.value
+
+let test_conjunction_licensees () =
+  let admin, bob, alice, _ = Lazy.force identities in
+  let cred =
+    Assertion.issue ~key:admin ~drbg:(drbg ())
+      ~licensees:(Printf.sprintf "%s && %s" (quoted bob) (quoted alice))
+      ~conditions:"true -> \"R\";" ()
+  in
+  let policy = [ policy_trusting admin ] in
+  let r1 = Compliance.check ~policy ~credentials:[ cred ] (make_query [ bob; alice ]) in
+  Alcotest.(check string) "both present" "R" r1.Compliance.value;
+  let r2 = Compliance.check ~policy ~credentials:[ cred ] (make_query [ alice ]) in
+  Alcotest.(check string) "one missing" "false" r2.Compliance.value
+
+let test_forged_credential_ignored () =
+  let admin, bob, alice, _ = Lazy.force identities in
+  (* Bob forges a credential claiming to be from admin by taking a
+     real admin credential for himself and editing the licensee. *)
+  let real =
+    Assertion.issue ~key:admin ~drbg:(drbg ()) ~licensees:(quoted bob)
+      ~conditions:"true -> \"RWX\";" ()
+  in
+  let forged_text =
+    Str_replace.replace (Assertion.to_text real)
+      ~from:(key_str bob) ~into:(key_str alice)
+  in
+  let forged = Assertion.parse forged_text in
+  let r =
+    Compliance.check ~policy:[ policy_trusting admin ] ~credentials:[ forged ]
+      (make_query [ alice ])
+  in
+  Alcotest.(check string) "forged denied" "false" r.Compliance.value;
+  Alcotest.(check bool) "trace mentions discard" true
+    (List.exists (fun line -> String.length line > 0 && String.sub line 0 9 = "discarded")
+       r.Compliance.trace)
+
+let test_delegation_cycle () =
+  let admin, bob, alice, _ = Lazy.force identities in
+  (* bob delegates to alice, alice delegates back to bob; neither is
+     connected to POLICY. The checker must terminate and deny. *)
+  let c1 =
+    Assertion.issue ~key:bob ~drbg:(drbg ()) ~licensees:(quoted alice) ~conditions:"true;" ()
+  in
+  let c2 =
+    Assertion.issue ~key:alice ~drbg:(drbg ()) ~licensees:(quoted bob) ~conditions:"true;" ()
+  in
+  let r =
+    Compliance.check ~policy:[ policy_trusting admin ] ~credentials:[ c1; c2 ]
+      (make_query [])
+  in
+  Alcotest.(check string) "cycle denied" "false" r.Compliance.value
+
+let test_time_of_day_policy () =
+  (* Paper section 3.1: leisure files unavailable during office hours. *)
+  let admin, bob, _, _ = Lazy.force identities in
+  let cred =
+    Assertion.issue ~key:admin ~drbg:(drbg ()) ~licensees:(quoted bob)
+      ~conditions:"(hour < 9 || hour >= 17) && filetype == \"leisure\" -> \"R\";" ()
+  in
+  let policy = [ policy_trusting admin ] in
+  let query hour =
+    make_query ~attrs:[ ("hour", string_of_int hour); ("filetype", "leisure") ] [ bob ]
+  in
+  let at h = (Compliance.check ~policy ~credentials:[ cred ] (query h)).Compliance.value in
+  Alcotest.(check string) "evening ok" "R" (at 20);
+  Alcotest.(check string) "early ok" "R" (at 7);
+  Alcotest.(check string) "office hours denied" "false" (at 11)
+
+let test_empty_licensees_grants_nothing () =
+  let admin, bob, _, _ = Lazy.force identities in
+  let a = Assertion.policy ~licensees:(quoted admin) ~conditions:"" () in
+  let r =
+    Compliance.check ~policy:[ a ] ~credentials:[] (make_query [ bob ])
+  in
+  Alcotest.(check string) "no grant" "false" r.Compliance.value
+
+(* --- Session -------------------------------------------------------- *)
+
+let test_session () =
+  let admin, bob, alice, _ = Lazy.force identities in
+  let session = Session.create ~values:octal_values () in
+  Session.add_policy session (policy_trusting admin);
+  let cred_bob =
+    Assertion.issue ~key:admin ~drbg:(drbg ()) ~licensees:(quoted bob)
+      ~conditions:"app_domain == \"DisCFS\" -> \"RW\";" ()
+  in
+  (match Session.add_credential session cred_bob with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Submitting text over RPC is how the DisCFS utility works. *)
+  let cred_alice =
+    Assertion.issue ~key:bob ~drbg:(drbg ()) ~licensees:(quoted alice)
+      ~conditions:"app_domain == \"DisCFS\" -> \"R\";" ()
+  in
+  (match Session.add_credential_text session (Assertion.to_text cred_alice) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "two credentials" 2 (List.length (Session.credentials session));
+  let attributes = [ ("app_domain", "DisCFS") ] in
+  let r = Session.query session ~requesters:[ key_str alice ] ~attributes in
+  Alcotest.(check string) "alice R" "R" r.Compliance.value;
+  (* Idempotent re-add. *)
+  (match Session.add_credential session cred_bob with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "still two" 2 (List.length (Session.credentials session));
+  (* Revocation: removing Bob's credential breaks Alice's chain. *)
+  Alcotest.(check bool) "removed" true
+    (Session.remove_credential session ~fingerprint:(Assertion.fingerprint cred_bob));
+  let r2 = Session.query session ~requesters:[ key_str alice ] ~attributes in
+  Alcotest.(check string) "revoked" "false" r2.Compliance.value;
+  (* Garbage text rejected. *)
+  (match Session.add_credential_text session "garbage" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "garbage accepted")
+
+let prop_chain_value_is_min =
+  (* For a linear chain, the granted value is the minimum along the
+     chain (delegation can restrict, never amplify). *)
+  let admin, bob, alice, _ = Lazy.force identities in
+  QCheck.Test.make ~name:"chain value = min of links" ~count:20
+    (QCheck.make QCheck.Gen.(pair (int_bound 7) (int_bound 7)))
+    (fun (v1, v2) ->
+      let value_at i = List.nth octal_values i in
+      let cred1 =
+        Assertion.issue ~key:admin ~drbg:(drbg ()) ~licensees:(quoted bob)
+          ~conditions:(Printf.sprintf "true -> \"%s\";" (value_at v1)) ()
+      in
+      let cred2 =
+        Assertion.issue ~key:bob ~drbg:(drbg ()) ~licensees:(quoted alice)
+          ~conditions:(Printf.sprintf "true -> \"%s\";" (value_at v2)) ()
+      in
+      let r =
+        Compliance.check ~policy:[ policy_trusting admin ] ~credentials:[ cred1; cred2 ]
+          (make_query [ alice ])
+      in
+      r.Compliance.level = min v1 v2)
+
+let suite =
+  [
+    Alcotest.test_case "numeric operators" `Quick test_numeric_ops;
+    Alcotest.test_case "string operators" `Quick test_string_ops;
+    Alcotest.test_case "action attributes" `Quick test_attributes;
+    Alcotest.test_case "regex operator" `Quick test_regex_op;
+    Alcotest.test_case "evaluation errors unsatisfy clause" `Quick test_eval_errors_unsatisfy;
+    Alcotest.test_case "program max semantics" `Quick test_program_max_semantics;
+    Alcotest.test_case "nested programs" `Quick test_nested_program;
+    Alcotest.test_case "special attributes" `Quick test_special_attributes;
+    Alcotest.test_case "licensees parsing" `Quick test_licensees_parse;
+    Alcotest.test_case "licensees local constants" `Quick test_licensees_resolve;
+    Alcotest.test_case "parse figure 5 shape" `Quick test_assertion_parse_figure5;
+    Alcotest.test_case "sign and verify" `Quick test_assertion_sign_verify;
+    Alcotest.test_case "sha256 signature variant" `Quick test_sha256_signatures;
+    Alcotest.test_case "tampered assertion" `Quick test_assertion_tamper;
+    Alcotest.test_case "parse errors" `Quick test_assertion_parse_errors;
+    Alcotest.test_case "local constants" `Quick test_local_constants;
+    Alcotest.test_case "direct authorization" `Quick test_direct_authorization;
+    Alcotest.test_case "figure-1 delegation chain" `Quick test_delegation_chain_figure1;
+    Alcotest.test_case "12-link chain" `Slow test_long_chain;
+    Alcotest.test_case "threshold licensees" `Quick test_threshold;
+    Alcotest.test_case "conjunction licensees" `Quick test_conjunction_licensees;
+    Alcotest.test_case "forged credential ignored" `Quick test_forged_credential_ignored;
+    Alcotest.test_case "delegation cycle terminates" `Quick test_delegation_cycle;
+    Alcotest.test_case "time-of-day policy" `Quick test_time_of_day_policy;
+    Alcotest.test_case "empty licensees" `Quick test_empty_licensees_grants_nothing;
+    Alcotest.test_case "persistent session" `Quick test_session;
+    QCheck_alcotest.to_alcotest prop_chain_value_is_min;
+  ]

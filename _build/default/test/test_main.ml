@@ -1,0 +1,22 @@
+(* Test entry point: one alcotest suite per subsystem, bottom-up. *)
+
+let () =
+  Alcotest.run "discfs-repro"
+    [
+      ("bignum", Test_bignum.suite);
+      ("crypto", Test_crypto.suite);
+      ("rex", Test_rex.suite);
+      ("keynote", Test_keynote.suite);
+      ("keynote-pp", Test_keynote_pp.suite);
+      ("simnet", Test_simnet.suite);
+      ("ffs", Test_ffs.suite);
+      ("rpc-ipsec", Test_rpc.suite);
+      ("nfs", Test_nfs.suite);
+      ("discfs", Test_discfs.suite);
+      ("discfs-model", Test_discfs_model.suite);
+      ("persistence", Test_persistence.suite);
+      ("cfs", Test_cfs.suite);
+      ("webfs", Test_webfs.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("bonnie", Test_bonnie.suite);
+    ]

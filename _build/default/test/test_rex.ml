@@ -1,0 +1,104 @@
+(* Tests for the regex engine behind KeyNote's ~= operator. *)
+
+let test_literals () =
+  Alcotest.(check bool) "exact" true (Rex.matches "abc" "abc");
+  Alcotest.(check bool) "substring search" true (Rex.matches "abc" "xxabcxx");
+  Alcotest.(check bool) "missing" false (Rex.matches "abc" "abd");
+  Alcotest.(check bool) "empty pattern matches" true (Rex.matches "" "anything")
+
+let test_anchors () =
+  Alcotest.(check bool) "^ at start" true (Rex.matches "^foo" "foobar");
+  Alcotest.(check bool) "^ not at start" false (Rex.matches "^foo" "xfoobar");
+  Alcotest.(check bool) "$ at end" true (Rex.matches "bar$" "foobar");
+  Alcotest.(check bool) "$ not at end" false (Rex.matches "bar$" "barfoo");
+  Alcotest.(check bool) "full anchor" true (Rex.matches "^ab$" "ab");
+  Alcotest.(check bool) "full anchor too long" false (Rex.matches "^ab$" "abc");
+  Alcotest.(check bool) "empty full" true (Rex.matches "^$" "");
+  Alcotest.(check bool) "empty full nonempty" false (Rex.matches "^$" "x")
+
+let test_repeats () =
+  Alcotest.(check bool) "star zero" true (Rex.matches "^ab*c$" "ac");
+  Alcotest.(check bool) "star many" true (Rex.matches "^ab*c$" "abbbbc");
+  Alcotest.(check bool) "plus zero" false (Rex.matches "^ab+c$" "ac");
+  Alcotest.(check bool) "plus one" true (Rex.matches "^ab+c$" "abc");
+  Alcotest.(check bool) "opt present" true (Rex.matches "^ab?c$" "abc");
+  Alcotest.(check bool) "opt absent" true (Rex.matches "^ab?c$" "ac");
+  Alcotest.(check bool) "opt two" false (Rex.matches "^ab?c$" "abbc");
+  Alcotest.(check bool) "backtracking" true (Rex.matches "^a*a$" "aaa");
+  Alcotest.(check bool) "nested star" true (Rex.matches "^(ab)*$" "ababab");
+  Alcotest.(check bool) "nested star partial" false (Rex.matches "^(ab)*$" "ababa")
+
+let test_classes () =
+  Alcotest.(check bool) "range" true (Rex.matches "^[a-z]+$" "hello");
+  Alcotest.(check bool) "range fail" false (Rex.matches "^[a-z]+$" "Hello");
+  Alcotest.(check bool) "negated" true (Rex.matches "^[^0-9]+$" "no digits");
+  Alcotest.(check bool) "negated fail" false (Rex.matches "^[^0-9]+$" "a1b");
+  Alcotest.(check bool) "multi-range" true (Rex.matches "^[a-zA-Z0-9_]+$" "File_9x");
+  Alcotest.(check bool) "literal ] first" true (Rex.matches "^[]a]+$" "]a]");
+  Alcotest.(check bool) "dash at end" true (Rex.matches "^[a-]+$" "a-a")
+
+let test_alternation () =
+  Alcotest.(check bool) "left" true (Rex.matches "^(cat|dog)$" "cat");
+  Alcotest.(check bool) "right" true (Rex.matches "^(cat|dog)$" "dog");
+  Alcotest.(check bool) "neither" false (Rex.matches "^(cat|dog)$" "cow");
+  Alcotest.(check bool) "three-way" true (Rex.matches "^(r|w|x)$" "w")
+
+let test_dot_and_escape () =
+  Alcotest.(check bool) "dot" true (Rex.matches "^a.c$" "abc");
+  Alcotest.(check bool) "dot any" true (Rex.matches "^a.c$" "a.c");
+  Alcotest.(check bool) "escaped dot" false (Rex.matches "^a\\.c$" "abc");
+  Alcotest.(check bool) "escaped dot literal" true (Rex.matches "^a\\.c$" "a.c");
+  Alcotest.(check bool) "escaped star" true (Rex.matches "^a\\*$" "a*")
+
+let test_keynote_patterns () =
+  (* Shapes that appear in DisCFS policies: file path prefixes. *)
+  Alcotest.(check bool) "path prefix" true (Rex.matches "^/discfs/docs/" "/discfs/docs/paper.tex");
+  Alcotest.(check bool) "path prefix miss" false (Rex.matches "^/discfs/docs/" "/discfs/src/paper.tex");
+  Alcotest.(check bool) "c file" true (Rex.matches "\\.(c|h)$" "sys/kern/vfs_subr.c");
+  Alcotest.(check bool) "c file miss" false (Rex.matches "\\.(c|h)$" "sys/kern/Makefile")
+
+let test_syntax_errors () =
+  let expect_error pat =
+    match Rex.compile pat with
+    | exception Rex.Syntax_error _ -> ()
+    | _ -> Alcotest.failf "pattern %S should not compile" pat
+  in
+  List.iter expect_error [ "("; "(ab"; "ab)"; "[ab"; "*a"; "+"; "a\\"; "[z-a]" ]
+
+let prop_literal_self_match =
+  (* Any string made of safe literal chars matches itself anchored. *)
+  let gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 20)) in
+  QCheck.Test.make ~name:"literal self-match" ~count:200 (QCheck.make gen) (fun s ->
+      Rex.matches ("^" ^ s ^ "$") s)
+
+let prop_star_matches_repeats =
+  QCheck.Test.make ~name:"(s)* matches s^n" ~count:100
+    (QCheck.make QCheck.Gen.(pair (string_size ~gen:(char_range 'a' 'c') (int_range 1 4)) (int_bound 5)))
+    (fun (s, n) ->
+      let repeated = String.concat "" (List.init n (fun _ -> s)) in
+      Rex.matches ("^(" ^ s ^ ")*$") repeated)
+
+let prop_search_implies_somewhere =
+  QCheck.Test.make ~name:"search finds embedded literal" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (string_size ~gen:(char_range 'a' 'z') (int_range 0 10))
+           (string_size ~gen:(char_range 'a' 'z') (int_range 1 5))
+           (string_size ~gen:(char_range 'a' 'z') (int_range 0 10))))
+    (fun (pre, mid, post) -> Rex.matches mid (pre ^ mid ^ post))
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "anchors" `Quick test_anchors;
+    Alcotest.test_case "repeats" `Quick test_repeats;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "alternation" `Quick test_alternation;
+    Alcotest.test_case "dot and escapes" `Quick test_dot_and_escape;
+    Alcotest.test_case "keynote-style patterns" `Quick test_keynote_patterns;
+    Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+    QCheck_alcotest.to_alcotest prop_literal_self_match;
+    QCheck_alcotest.to_alcotest prop_star_matches_repeats;
+    QCheck_alcotest.to_alcotest prop_search_implies_somewhere;
+  ]

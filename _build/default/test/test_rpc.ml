@@ -1,0 +1,283 @@
+(* XDR codec and ONC RPC call/dispatch over the simulated link. *)
+
+module Clock = Simnet.Clock
+module Stats = Simnet.Stats
+module Link = Simnet.Link
+module Rpc = Oncrpc.Rpc
+
+let test_xdr_ints () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 0;
+  Xdr.Enc.uint32 e 0xdeadbeef;
+  Xdr.Enc.int32 e (-1);
+  Xdr.Enc.int32 e 0x7fffffff;
+  Xdr.Enc.uint64 e 0x1122334455667788L;
+  let d = Xdr.Dec.of_string (Xdr.Enc.to_string e) in
+  Alcotest.(check int) "zero" 0 (Xdr.Dec.uint32 d);
+  Alcotest.(check int) "large u32" 0xdeadbeef (Xdr.Dec.uint32 d);
+  Alcotest.(check int) "minus one" (-1) (Xdr.Dec.int32 d);
+  Alcotest.(check int) "int32 max" 0x7fffffff (Xdr.Dec.int32 d);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Xdr.Dec.uint64 d);
+  Xdr.Dec.expect_end d;
+  Alcotest.check_raises "u32 range" (Invalid_argument "Xdr.Enc.uint32: out of range")
+    (fun () -> Xdr.Enc.uint32 (Xdr.Enc.create ()) (-1))
+
+let test_xdr_opaque_padding () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.opaque e "abcde";
+  (* 4 length + 5 data + 3 pad *)
+  Alcotest.(check int) "padded length" 12 (String.length (Xdr.Enc.to_string e));
+  let d = Xdr.Dec.of_string (Xdr.Enc.to_string e) in
+  Alcotest.(check string) "roundtrip" "abcde" (Xdr.Dec.opaque d);
+  Xdr.Dec.expect_end d
+
+let test_xdr_truncation () =
+  let d = Xdr.Dec.of_string "\000\000" in
+  Alcotest.check_raises "truncated" (Xdr.Decode_error "truncated XDR data") (fun () ->
+      ignore (Xdr.Dec.uint32 d));
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 100;
+  let d = Xdr.Dec.of_string (Xdr.Enc.to_string e) in
+  Alcotest.check_raises "opaque longer than data" (Xdr.Decode_error "truncated XDR data")
+    (fun () -> ignore (Xdr.Dec.opaque d))
+
+let prop_xdr_roundtrip =
+  QCheck.Test.make ~name:"xdr mixed roundtrip" ~count:200
+    (QCheck.make QCheck.Gen.(triple (int_bound 0xffffffff) small_string bool))
+    (fun (n, s, b) ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.uint32 e n;
+      Xdr.Enc.string e s;
+      Xdr.Enc.bool e b;
+      let d = Xdr.Dec.of_string (Xdr.Enc.to_string e) in
+      let n' = Xdr.Dec.uint32 d in
+      let s' = Xdr.Dec.string d in
+      let b' = Xdr.Dec.bool d in
+      Xdr.Dec.expect_end d;
+      n = n' && s = s' && b = b')
+
+(* An echo/add test service. *)
+let make_service () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let link = Link.create ~clock ~cost:Simnet.Cost.default ~stats in
+  let srv = Rpc.server ~clock ~cost:Simnet.Cost.default ~stats in
+  Rpc.register srv ~prog:77 ~vers:1 (fun ~conn ~proc ~args ->
+      match proc with
+      | 0 -> Ok ""
+      | 1 -> Ok args (* echo *)
+      | 2 ->
+        let d = Xdr.Dec.of_string args in
+        let a = Xdr.Dec.uint32 d in
+        let b = Xdr.Dec.uint32 d in
+        let e = Xdr.Enc.create () in
+        Xdr.Enc.uint32 e (a + b);
+        Ok (Xdr.Enc.to_string e)
+      | 3 ->
+        let e = Xdr.Enc.create () in
+        Xdr.Enc.string e (Printf.sprintf "peer=%s uid=%d" conn.Rpc.peer conn.Rpc.uid);
+        Ok (Xdr.Enc.to_string e)
+      | _ -> Error Rpc.Proc_unavail);
+  (clock, stats, link, srv)
+
+let test_rpc_echo () =
+  let _, _, link, srv = make_service () in
+  let client = Rpc.connect ~link srv in
+  Alcotest.(check string) "null" "" (Rpc.call client ~prog:77 ~vers:1 ~proc:0 "");
+  Alcotest.(check string) "echo" "payload!" (Rpc.call client ~prog:77 ~vers:1 ~proc:1 "payload!");
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e 20;
+  Xdr.Enc.uint32 e 22;
+  let reply = Rpc.call client ~prog:77 ~vers:1 ~proc:2 (Xdr.Enc.to_string e) in
+  Alcotest.(check int) "add" 42 (Xdr.Dec.uint32 (Xdr.Dec.of_string reply));
+  Alcotest.(check int) "calls counted" 3 (Rpc.calls_made srv)
+
+let test_rpc_faults () =
+  let _, _, link, srv = make_service () in
+  let client = Rpc.connect ~link srv in
+  Alcotest.check_raises "bad prog" (Rpc.Rpc_error Rpc.Prog_unavail) (fun () ->
+      ignore (Rpc.call client ~prog:99 ~vers:1 ~proc:0 ""));
+  Alcotest.check_raises "bad vers" (Rpc.Rpc_error Rpc.Prog_unavail) (fun () ->
+      ignore (Rpc.call client ~prog:77 ~vers:9 ~proc:0 ""));
+  Alcotest.check_raises "bad proc" (Rpc.Rpc_error Rpc.Proc_unavail) (fun () ->
+      ignore (Rpc.call client ~prog:77 ~vers:1 ~proc:42 ""));
+  (* Handler decode errors surface as Garbage_args. *)
+  Alcotest.check_raises "garbage args" (Rpc.Rpc_error Rpc.Garbage_args) (fun () ->
+      ignore (Rpc.call client ~prog:77 ~vers:1 ~proc:2 "\001"))
+
+let test_rpc_conn_info () =
+  let _, _, link, srv = make_service () in
+  let client = Rpc.connect ~link ~peer:"dsa-hex:abcd" ~uid:1042 srv in
+  let reply = Rpc.call client ~prog:77 ~vers:1 ~proc:3 "" in
+  Alcotest.(check string) "conn info" "peer=dsa-hex:abcd uid=1042"
+    (Xdr.Dec.string (Xdr.Dec.of_string reply))
+
+let test_rpc_charges_time () =
+  let clock, _, link, srv = make_service () in
+  let client = Rpc.connect ~link srv in
+  let before = Clock.now clock in
+  ignore (Rpc.call client ~prog:77 ~vers:1 ~proc:1 (String.make 8192 'x'));
+  let dt = Clock.now clock -. before in
+  (* Two 8K+ messages over 12.5 MB/s plus RPC overhead: >1.3 ms. *)
+  Alcotest.(check bool) "realistic latency" true (dt > 0.0013 && dt < 0.01)
+
+(* --- IPsec --------------------------------------------------------- *)
+
+let handshake () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let link = Link.create ~clock ~cost:Simnet.Cost.default ~stats in
+  let drbg = Dcrypto.Drbg.create ~seed:"ipsec-test" in
+  let initiator = Dcrypto.Dsa.generate_key drbg in
+  let responder = Dcrypto.Dsa.generate_key drbg in
+  (clock, stats, link, drbg, initiator, responder)
+
+let test_ike_establish () =
+  let clock, _, link, drbg, initiator, responder = handshake () in
+  let before = Clock.now clock in
+  let client_ep, server_ep = Ipsec.Ike.establish ~link ~drbg ~initiator ~responder () in
+  Alcotest.(check string) "server sees initiator key"
+    (Keynote.Assertion.principal_of_pub initiator.Dcrypto.Dsa.pub)
+    server_ep.Ipsec.Ike.peer;
+  Alcotest.(check string) "client sees responder key"
+    (Keynote.Assertion.principal_of_pub responder.Dcrypto.Dsa.pub)
+    client_ep.Ipsec.Ike.peer;
+  Alcotest.(check bool) "handshake costs time" true (Clock.now clock -. before > 0.1)
+
+let test_esp_roundtrip () =
+  let _, _, link, drbg, initiator, responder = handshake () in
+  let client_ep, server_ep = Ipsec.Ike.establish ~link ~drbg ~initiator ~responder () in
+  let payload = "GETATTR please" in
+  let packet = Ipsec.Esp.seal client_ep.Ipsec.Ike.tx payload in
+  Alcotest.(check bool) "bigger on the wire" true
+    (String.length packet = String.length payload + Ipsec.Esp.overhead);
+  Alcotest.(check string) "opens" payload (Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx packet);
+  (* Replay is rejected. *)
+  (match Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx packet with
+  | exception Ipsec.Esp.Esp_error _ -> ()
+  | _ -> Alcotest.fail "replay accepted");
+  (* Tampered ciphertext is rejected. *)
+  let packet2 = Ipsec.Esp.seal client_ep.Ipsec.Ike.tx payload in
+  let tampered = Bytes.of_string packet2 in
+  Bytes.set tampered 14 (Char.chr (Char.code (Bytes.get tampered 14) lxor 1));
+  (match Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx (Bytes.to_string tampered) with
+  | exception Ipsec.Esp.Esp_error _ -> ()
+  | _ -> Alcotest.fail "tampered packet accepted")
+
+let test_esp_out_of_order () =
+  let _, _, link, drbg, initiator, responder = handshake () in
+  let client_ep, server_ep = Ipsec.Ike.establish ~link ~drbg ~initiator ~responder () in
+  let p1 = Ipsec.Esp.seal client_ep.Ipsec.Ike.tx "one" in
+  let p2 = Ipsec.Esp.seal client_ep.Ipsec.Ike.tx "two" in
+  let p3 = Ipsec.Esp.seal client_ep.Ipsec.Ike.tx "three" in
+  (* Delivery order 3,1,2 is fine within the replay window. *)
+  Alcotest.(check string) "p3" "three" (Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx p3);
+  Alcotest.(check string) "p1" "one" (Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx p1);
+  Alcotest.(check string) "p2" "two" (Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx p2)
+
+let test_ike_mitm_detected () =
+  let _, _, link, drbg, initiator, responder = handshake () in
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  in
+  (* Tamper with the responder's signature message. *)
+  (match
+     Ipsec.Ike.establish ~link ~drbg ~initiator ~responder
+       ~mitm:(fun ~msg s -> if msg = 2 then flip s (String.length s - 6) else s)
+       ()
+   with
+  | exception Ipsec.Ike.Ike_failure _ -> ()
+  | _ -> Alcotest.fail "responder tampering undetected");
+  (* Tamper with the initiator's authentication. *)
+  (match
+     Ipsec.Ike.establish ~link ~drbg ~initiator ~responder
+       ~mitm:(fun ~msg s -> if msg = 3 then flip s (String.length s - 6) else s)
+       ()
+   with
+  | exception Ipsec.Ike.Ike_failure _ -> ()
+  | _ -> Alcotest.fail "initiator tampering undetected")
+
+let test_rpc_over_esp () =
+  let clock, stats, link, drbg, initiator, responder = handshake () in
+  let srv = Rpc.server ~clock ~cost:Simnet.Cost.default ~stats in
+  Rpc.register srv ~prog:5 ~vers:1 (fun ~conn ~proc:_ ~args:_ ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.string e conn.Rpc.peer;
+      Ok (Xdr.Enc.to_string e));
+  let client_ep, server_ep = Ipsec.Ike.establish ~link ~drbg ~initiator ~responder () in
+  let channel = Ipsec.Ike.rpc_channel ~client:client_ep ~server:server_ep in
+  let client = Rpc.connect ~link ~channel ~peer:server_ep.Ipsec.Ike.peer srv in
+  let reply = Rpc.call client ~prog:5 ~vers:1 ~proc:0 "" in
+  Alcotest.(check string) "server handler sees authenticated key"
+    (Keynote.Assertion.principal_of_pub initiator.Dcrypto.Dsa.pub)
+    (Xdr.Dec.string (Xdr.Dec.of_string reply));
+  Alcotest.(check bool) "esp packets counted" true (Stats.get stats "esp.packets" >= 2)
+
+let test_esp_tdes_transform () =
+  (* The period-accurate 3DES-HMAC-SHA1 transform interoperates with
+     the rest of the stack and costs more virtual time per byte. *)
+  let clock, _, link, drbg, initiator, responder = handshake () in
+  let client_ep, server_ep =
+    Ipsec.Ike.establish ~link ~drbg ~initiator ~responder ~cipher:Ipsec.Sa.Tdes_hmac_sha1 ()
+  in
+  let payload = String.make 8192 'd' in
+  let t0 = Clock.now clock in
+  let packet = Ipsec.Esp.seal client_ep.Ipsec.Ike.tx payload in
+  let tdes_time = Clock.now clock -. t0 in
+  Alcotest.(check string) "opens" payload (Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx packet);
+  (* Replay and tampering still rejected. *)
+  (match Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx packet with
+  | exception Ipsec.Esp.Esp_error _ -> ()
+  | _ -> Alcotest.fail "replay accepted");
+  let p2 = Bytes.of_string (Ipsec.Esp.seal client_ep.Ipsec.Ike.tx payload) in
+  Bytes.set p2 20 (Char.chr (Char.code (Bytes.get p2 20) lxor 1));
+  (match Ipsec.Esp.open_ server_ep.Ipsec.Ike.rx (Bytes.to_string p2) with
+  | exception Ipsec.Esp.Esp_error _ -> ()
+  | _ -> Alcotest.fail "tampered 3des packet accepted");
+  (* Compare virtual cost against the fast transform. *)
+  let c2, _, link2, drbg2, i2, r2 = handshake () in
+  let fast_ep, _ = Ipsec.Ike.establish ~link:link2 ~drbg:drbg2 ~initiator:i2 ~responder:r2 () in
+  let t0 = Clock.now c2 in
+  ignore (Ipsec.Esp.seal fast_ep.Ipsec.Ike.tx payload);
+  let fast_time = Clock.now c2 -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "3des much slower (%.2f ms vs %.3f ms)" (tdes_time *. 1000.)
+       (fast_time *. 1000.))
+    true
+    (tdes_time > 10.0 *. fast_time)
+
+let test_replay_window_unit () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let sa =
+    Ipsec.Sa.create ~clock ~cost:Simnet.Cost.default ~stats ~spi:7 ~key:(String.make 32 'k') ()
+  in
+  Alcotest.(check bool) "fresh 5" true (Ipsec.Sa.replay_check sa 5);
+  Alcotest.(check bool) "replay 5" false (Ipsec.Sa.replay_check sa 5);
+  Alcotest.(check bool) "old 3 ok once" true (Ipsec.Sa.replay_check sa 3);
+  Alcotest.(check bool) "replay 3" false (Ipsec.Sa.replay_check sa 3);
+  Alcotest.(check bool) "advance 100" true (Ipsec.Sa.replay_check sa 100);
+  Alcotest.(check bool) "too old 5" false (Ipsec.Sa.replay_check sa 5);
+  Alcotest.(check bool) "recent 90" true (Ipsec.Sa.replay_check sa 90);
+  Alcotest.(check bool) "zero invalid" false (Ipsec.Sa.replay_check sa 0)
+
+let suite =
+  [
+    Alcotest.test_case "xdr integers" `Quick test_xdr_ints;
+    Alcotest.test_case "xdr opaque padding" `Quick test_xdr_opaque_padding;
+    Alcotest.test_case "xdr truncation" `Quick test_xdr_truncation;
+    QCheck_alcotest.to_alcotest prop_xdr_roundtrip;
+    Alcotest.test_case "rpc echo service" `Quick test_rpc_echo;
+    Alcotest.test_case "rpc faults" `Quick test_rpc_faults;
+    Alcotest.test_case "rpc connection info" `Quick test_rpc_conn_info;
+    Alcotest.test_case "rpc charges virtual time" `Quick test_rpc_charges_time;
+    Alcotest.test_case "ike establishes authenticated SAs" `Quick test_ike_establish;
+    Alcotest.test_case "esp seal/open/replay/tamper" `Quick test_esp_roundtrip;
+    Alcotest.test_case "esp out-of-order within window" `Quick test_esp_out_of_order;
+    Alcotest.test_case "ike detects tampering" `Quick test_ike_mitm_detected;
+    Alcotest.test_case "rpc over esp channel" `Quick test_rpc_over_esp;
+    Alcotest.test_case "esp 3des transform" `Quick test_esp_tdes_transform;
+    Alcotest.test_case "replay window" `Quick test_replay_window_unit;
+  ]
