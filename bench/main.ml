@@ -8,6 +8,7 @@
    corresponding operation through the actual implementation.
 
    Usage: dune exec bench/main.exe [-- --quick | --no-bechamel | --size MB]
+          dune exec bench/main.exe -- fault_sweep   (robustness sweep only)
 *)
 
 module Clock = Simnet.Clock
@@ -252,6 +253,40 @@ let transform_sweep () =
   row "DisCFS (3DES ESP)" tdes
 
 (* ------------------------------------------------------------------ *)
+(* R1: fault sweep — goodput vs network loss rate                      *)
+(*                                                                     *)
+(* The paper benchmarks DisCFS on a clean lab Ethernet; a *global*     *)
+(* file system lives on lossy WAN paths. This sweep runs the Figure-12 *)
+(* search workload with the link degraded and reports how much goodput *)
+(* the at-least-once RPC layer (retransmission + duplicate-request     *)
+(* cache + ESP re-sealing) preserves.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fault_sweep () =
+  say "@.Fault sweep R1: Figure-12 search workload vs network loss rate";
+  say "  (at-least-once RPC: retransmit w/ backoff, duplicate-request cache,";
+  say "   corrupted/replayed ESP packets dropped and retried)";
+  say "  %-6s %10s %14s %10s %10s %10s %10s" "loss" "time (s)" "goodput(K/s)" "retrans"
+    "drops" "corrupt" "drc hits";
+  let spec = { Search.dirs = 6; files_per_dir = 8; mean_file_size = 4096; seed = "fault-tree" } in
+  List.iter
+    (fun loss ->
+      let fault = Simnet.Fault.create ~seed:(Printf.sprintf "sweep-%.2f" loss) () in
+      let b = Backend.discfs ~fault () in
+      (* The tree is built out-of-band on the server fs; only the
+         measured walk sees the lossy link. *)
+      Search.build b spec;
+      Simnet.Fault.set_net fault (Simnet.Fault.lossy loss);
+      let totals, seconds = Search.run b in
+      let get k = Simnet.Stats.get b.Backend.stats k in
+      let goodput = float_of_int totals.Search.bytes /. 1024.0 /. seconds in
+      say "  %-6s %10.2f %14.0f %10d %10d %10d %10d"
+        (Printf.sprintf "%.0f%%" (loss *. 100.0))
+        seconds goodput (get "rpc.retransmits") (get "link.drops") (get "link.corruptions")
+        (get "rpc.drc_hits"))
+    [ 0.0; 0.01; 0.05; 0.10 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: one Test.make per figure + micro-costs (A3)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -404,11 +439,19 @@ let () =
   say "DisCFS evaluation harness (virtual 2001-era testbed: 450 MHz server,";
   say "100 Mbps Ethernet, Quantum Fireball-class disk; see DESIGN.md)";
   say "";
-  bonnie_figures size_mb;
-  search_figure spec;
-  cache_sweep { spec with Search.dirs = max 4 (spec.Search.dirs / 2) };
-  chain_sweep ();
-  scalability ();
-  transform_sweep ();
-  if not (has "--no-bechamel") then run_bechamel ();
-  say "@.done."
+  if has "fault_sweep" then begin
+    (* Standalone robustness sweep: bench/main.exe fault_sweep *)
+    fault_sweep ();
+    say "@.done."
+  end
+  else begin
+    bonnie_figures size_mb;
+    search_figure spec;
+    cache_sweep { spec with Search.dirs = max 4 (spec.Search.dirs / 2) };
+    chain_sweep ();
+    scalability ();
+    transform_sweep ();
+    fault_sweep ();
+    if not (has "--no-bechamel") then run_bechamel ();
+    say "@.done."
+  end

@@ -40,12 +40,16 @@ val discfs :
   ?ninodes:int ->
   ?cache_size:int ->
   ?cipher:Ipsec.Sa.cipher ->
+  ?fault:Simnet.Fault.t ->
+  ?retry:Oncrpc.Rpc.retry ->
   unit ->
   t
 (** Full DisCFS: IKE attach, ESP on every RPC, KeyNote authorization
     with the policy cache (the DisCFS rows). The test user holds an
     administrator-issued credential granting RWX over the volume,
-    mirroring the paper's benchmark setup. *)
+    mirroring the paper's benchmark setup. [fault] makes the link and
+    disk lossy (see {!Simnet.Fault}); [retry] tunes the at-least-once
+    RPC retransmission profile. *)
 
 val discfs_deploy : t -> Discfs.Deploy.t option
 (** The underlying testbed when the backend is DisCFS (for cache

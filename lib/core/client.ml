@@ -5,31 +5,103 @@ module Assertion = Keynote.Assertion
 exception Discfs_error of string
 
 type t = {
-  nfs : Nfs.Client.t;
-  rpc : Rpc.client;
-  root : Proto.fh;
+  mutable nfs : Nfs.Client.t;
+  mutable rpc : Rpc.client;
+  mutable root : Proto.fh;
   principal : string;
-  server_principal : string;
+  mutable server_principal : string;
+  (* Everything needed to redo IKE + MOUNT after a server restart. *)
+  link : Simnet.Link.t;
+  identity : Dcrypto.Dsa.private_key;
+  drbg : Dcrypto.Drbg.t;
+  uid : int;
+  path : string;
+  cipher : Ipsec.Sa.cipher option;
+  sa_lifetime : int option;
+  retry : Rpc.retry option;
+  mutable endpoints : (Ipsec.Ike.endpoint * Ipsec.Ike.endpoint) option;
 }
 
-let attach ~link ~rpc ~server ~identity ~drbg ?(uid = 1000) ?(path = "/") ?cipher () =
-  (* IKE: authenticate both ends, derive the ESP channel. The server
-     learns our public key and associates it with this connection. *)
+(* Soft-lifetime rekey: swap in fresh SAs (new keys, SPIs, reset
+   replay windows) without disturbing the mounted filesystem. *)
+let rekey t =
+  match t.endpoints with
+  | None -> ()
+  | Some (client_ep, server_ep) ->
+    let client_ep, server_ep =
+      Ipsec.Ike.rekey ~link:t.link ~drbg:t.drbg ~client:client_ep ~server:server_ep ()
+    in
+    t.endpoints <- Some (client_ep, server_ep);
+    Rpc.set_channel t.rpc (Ipsec.Ike.rpc_channel ~client:client_ep ~server:server_ep)
+
+let maybe_rekey t =
+  match t.endpoints with
+  | None -> ()
+  | Some (client_ep, _) -> if Ipsec.Sa.soft_expired client_ep.Ipsec.Ike.tx then rekey t
+
+(* IKE: authenticate both ends, derive the ESP channel. The server
+   learns our public key and associates it with this connection. *)
+let establish_rpc t ~rpc ~server =
   let client_ep, server_ep =
-    Ipsec.Ike.establish ~link ~drbg ~initiator:identity
-      ~responder:(Server.server_key server) ?cipher ()
+    Ipsec.Ike.establish ~link:t.link ~drbg:t.drbg ~initiator:t.identity
+      ~responder:(Server.server_key server) ?cipher:t.cipher ?lifetime:t.sa_lifetime ()
   in
   let channel = Ipsec.Ike.rpc_channel ~client:client_ep ~server:server_ep in
-  let rpc_client = Rpc.connect ~link ~channel ~peer:server_ep.Ipsec.Ike.peer ~uid rpc in
+  let rpc_client =
+    Rpc.connect ~link:t.link ~channel ~peer:server_ep.Ipsec.Ike.peer ~uid:t.uid ?retry:t.retry
+      rpc
+  in
+  t.rpc <- rpc_client;
+  t.nfs <- Nfs.Client.create rpc_client;
+  t.endpoints <- Some (client_ep, server_ep);
+  t.server_principal <- client_ep.Ipsec.Ike.peer;
+  Rpc.set_before_call rpc_client (fun () -> maybe_rekey t)
+
+let attach ~link ~rpc ~server ~identity ~drbg ?(uid = 1000) ?(path = "/") ?cipher ?sa_lifetime
+    ?retry () =
+  let client_ep, server_ep =
+    Ipsec.Ike.establish ~link ~drbg ~initiator:identity
+      ~responder:(Server.server_key server) ?cipher ?lifetime:sa_lifetime ()
+  in
+  let channel = Ipsec.Ike.rpc_channel ~client:client_ep ~server:server_ep in
+  let rpc_client =
+    Rpc.connect ~link ~channel ~peer:server_ep.Ipsec.Ike.peer ~uid ?retry rpc
+  in
   let nfs = Nfs.Client.create rpc_client in
   let root = Nfs.Client.mount nfs path in
-  {
-    nfs;
-    rpc = rpc_client;
-    root;
-    principal = Assertion.principal_of_pub identity.Dcrypto.Dsa.pub;
-    server_principal = client_ep.Ipsec.Ike.peer;
-  }
+  let t =
+    {
+      nfs;
+      rpc = rpc_client;
+      root;
+      principal = Assertion.principal_of_pub identity.Dcrypto.Dsa.pub;
+      server_principal = client_ep.Ipsec.Ike.peer;
+      link;
+      identity;
+      drbg;
+      uid;
+      path;
+      cipher;
+      sa_lifetime;
+      retry;
+      endpoints = Some (client_ep, server_ep);
+    }
+  in
+  Rpc.set_before_call rpc_client (fun () -> maybe_rekey t);
+  t
+
+let reattach t ~rpc ~server () =
+  (* The operation that was in flight when the server died, if any. *)
+  let pending = Rpc.take_timeout t.rpc in
+  establish_rpc t ~rpc ~server;
+  t.root <- Nfs.Client.mount t.nfs t.path;
+  (* Replay it: at-least-once semantics make this safe — if it did
+     execute before the crash, re-executing an NFS op or being
+     answered from the new incarnation's cache both converge. *)
+  (match pending with
+  | None -> ()
+  | Some (prog, vers, proc, args) -> (
+    try ignore (Rpc.call t.rpc ~prog ~vers ~proc args) with Rpc.Rpc_error _ -> ()))
 
 let nfs t = t.nfs
 let root t = t.root

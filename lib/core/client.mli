@@ -17,11 +17,27 @@ val attach :
   ?uid:int ->
   ?path:string ->
   ?cipher:Ipsec.Sa.cipher ->
+  ?sa_lifetime:int ->
+  ?retry:Oncrpc.Rpc.retry ->
   unit ->
   t
 (** [uid] is the unix-style userid presented at attach time (no local
     significance on the server); [path] selects the exported subtree
-    (default ["/"]). *)
+    (default ["/"]). [sa_lifetime] sets the ESP soft lifetime in
+    packets: when an SA reaches it, the next call transparently runs
+    the abbreviated {!Ipsec.Ike.rekey} exchange first. [retry]
+    overrides the at-least-once retransmission profile. *)
+
+val reattach : t -> rpc:Oncrpc.Rpc.server -> server:Server.t -> unit -> unit
+(** Recover from a server crash: redo IKE and MOUNT against the
+    restarted server's RPC endpoint, then replay the operation that
+    was in flight (timed out) when the server died, if any. The
+    handle's [nfs]/[root] are refreshed in place; file handles stay
+    valid because inode generations survive in the disk image. *)
+
+val rekey : t -> unit
+(** Force an immediate SA refresh (normally automatic once
+    [sa_lifetime] packets have been sealed). *)
 
 val nfs : t -> Nfs.Client.t
 val root : t -> Nfs.Proto.fh

@@ -9,20 +9,32 @@ module Assertion = Keynote.Assertion
 type t = {
   clock : Clock.t;
   stats : Stats.t;
+  cost : Simnet.Cost.t;
   link : Link.t;
-  fs : Ffs.Fs.t;
-  rpc : Rpc.server;
-  server : Server.t;
+  dev : Ffs.Blockdev.t;
+  mutable fs : Ffs.Fs.t;
+  mutable rpc : Rpc.server;
+  mutable server : Server.t;
   admin : Dsa.private_key;
   drbg : Drbg.t;
+  cache_size : int;
+  hour : (unit -> int) option;
+  strict_handles : bool option;
+  mutable restarts : int;
 }
 
 let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
-    ?(ninodes = 8192) ?(cache_size = 128) ?hour ?strict_handles ?(seed = "discfs-deploy") () =
+    ?(ninodes = 8192) ?(cache_size = 128) ?hour ?strict_handles ?(seed = "discfs-deploy")
+    ?fault () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let link = Link.create ~clock ~cost ~stats in
   let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  (match fault with
+  | None -> ()
+  | Some f ->
+    Link.set_fault link (Some f);
+    Ffs.Blockdev.set_fault dev (Some f));
   let fs = Ffs.Fs.create ~dev ~ninodes in
   let drbg = Drbg.create ~seed in
   let admin = Dsa.generate_key drbg in
@@ -33,13 +45,56 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
   in
   let rpc = Rpc.server ~clock ~cost ~stats in
   Server.attach_rpc server rpc;
-  { clock; stats; link; fs; rpc; server; admin; drbg }
+  {
+    clock;
+    stats;
+    cost;
+    link;
+    dev;
+    fs;
+    rpc;
+    server;
+    admin;
+    drbg;
+    cache_size;
+    hour;
+    strict_handles;
+    restarts = 0;
+  }
 
 let new_identity t = Dsa.generate_key t.drbg
 
-let attach t ~identity ?uid ?path ?cipher () =
+let attach t ~identity ?uid ?path ?cipher ?sa_lifetime ?retry () =
   Client.attach ~link:t.link ~rpc:t.rpc ~server:t.server ~identity
-    ~drbg:(Drbg.fork t.drbg ~label:"attach") ?uid ?path ?cipher ()
+    ~drbg:(Drbg.fork t.drbg ~label:"attach") ?uid ?path ?cipher ?sa_lifetime ?retry ()
+
+(* Kill the server process and boot a fresh incarnation from stable
+   storage. The disk image and the credential/audit state survive (the
+   paper's server persists credentials with the files they govern);
+   SAs, the policy cache and the duplicate-request cache are
+   process-local and die. The old RPC endpoint keeps absorbing
+   datagrams into the void so in-flight clients time out exactly as
+   against a dead host. *)
+let crash_and_restart t =
+  let image = Ffs.Fs.save t.fs in
+  let state = Server.save_state t.server in
+  let server_key = Server.server_key t.server in
+  Rpc.shutdown t.rpc;
+  t.restarts <- t.restarts + 1;
+  Stats.incr t.stats "server.restarts";
+  t.fs <- Ffs.Fs.load ~dev:t.dev image;
+  let server =
+    Server.create ~fs:t.fs ~admin:t.admin.Dsa.pub ~server_key
+      ~drbg:(Drbg.fork t.drbg ~label:(Printf.sprintf "server-restart-%d" t.restarts))
+      ~cache_size:t.cache_size ?hour:t.hour ?strict_handles:t.strict_handles ()
+  in
+  (match Server.load_state server state with
+  | Ok _ -> ()
+  | Error m -> failwith ("crash_and_restart: state reload failed: " ^ m));
+  let rpc = Rpc.server ~clock:t.clock ~cost:t.cost ~stats:t.stats in
+  Server.attach_rpc server rpc;
+  t.server <- server;
+  t.rpc <- rpc
 
 let admin_principal t = Assertion.principal_of_pub t.admin.Dsa.pub
 

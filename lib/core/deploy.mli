@@ -2,17 +2,28 @@
     filesystem, link, RPC server and a DisCFS server with an
     administrator identity — the simulated equivalent of the paper's
     Alice (server) / Bob (client) machines (Figure 6). Used by the
-    examples, tests and the benchmark harness. *)
+    examples, tests and the benchmark harness.
+
+    The testbed can be made hostile: pass [fault] to {!make} to
+    attach a fault injector to both the link and the disk, and call
+    {!crash_and_restart} to kill the server mid-run and boot a new
+    incarnation from stable storage. *)
 
 type t = {
   clock : Simnet.Clock.t;
   stats : Simnet.Stats.t;
+  cost : Simnet.Cost.t;
   link : Simnet.Link.t;
-  fs : Ffs.Fs.t;
-  rpc : Oncrpc.Rpc.server;
-  server : Server.t;
+  dev : Ffs.Blockdev.t;
+  mutable fs : Ffs.Fs.t;
+  mutable rpc : Oncrpc.Rpc.server;
+  mutable server : Server.t;
   admin : Dcrypto.Dsa.private_key;
   drbg : Dcrypto.Drbg.t;
+  cache_size : int;
+  hour : (unit -> int) option;
+  strict_handles : bool option;
+  mutable restarts : int;
 }
 
 val make :
@@ -24,11 +35,13 @@ val make :
   ?hour:(unit -> int) ->
   ?strict_handles:bool ->
   ?seed:string ->
+  ?fault:Simnet.Fault.t ->
   unit ->
   t
 (** Defaults: 2001-era cost model, 8 K blocks, 16 Ki blocks (128 MB
     volume), 8 Ki inodes, cache of 128, seed ["discfs-deploy"].
-    Deterministic: same seed, same keys, same results. *)
+    Deterministic: same seed, same keys, same results. [fault]
+    attaches a fault injector to the link and the block device. *)
 
 val new_identity : t -> Dcrypto.Dsa.private_key
 (** Generate a fresh user key pair from the testbed's DRBG. *)
@@ -39,9 +52,20 @@ val attach :
   ?uid:int ->
   ?path:string ->
   ?cipher:Ipsec.Sa.cipher ->
+  ?sa_lifetime:int ->
+  ?retry:Oncrpc.Rpc.retry ->
   unit ->
   Client.t
 (** IKE + mount, as the paper's cattach. *)
+
+val crash_and_restart : t -> unit
+(** Simulate a server crash and reboot: the disk image and the
+    credential store / revocation list / audit trail are carried
+    through stable storage ({!Ffs.Fs.save} and [Server.save_state]);
+    SAs, the policy cache and the RPC duplicate-request cache are
+    lost with the process. Existing clients' next call times out
+    ({!Oncrpc.Rpc.Rpc_timeout}); recover them with
+    {!Client.reattach}. Counted under ["server.restarts"]. *)
 
 val admin_principal : t -> string
 

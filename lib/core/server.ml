@@ -359,6 +359,18 @@ let save_state t =
   List.iter (fun a -> Xdr.Enc.string e (Assertion.to_text a)) creds;
   Xdr.Enc.uint32 e (List.length t.revoked_keys);
   List.iter (fun k -> Xdr.Enc.string e k) t.revoked_keys;
+  (* The audit trail is part of stable state: a crash must not erase
+     the record of what was granted before it. *)
+  Xdr.Enc.uint32 e (List.length t.audit);
+  List.iter
+    (fun a ->
+      Xdr.Enc.uint64 e (Int64.bits_of_float a.au_time);
+      Xdr.Enc.string e a.au_peer;
+      Xdr.Enc.string e a.au_op;
+      Xdr.Enc.uint32 e a.au_ino;
+      Xdr.Enc.string e a.au_value;
+      Xdr.Enc.uint32 e (if a.au_granted then 1 else 0))
+    t.audit;
   Xdr.Enc.to_string e
 
 let load_state t data =
@@ -368,12 +380,24 @@ let load_state t data =
     let creds = List.init ncreds (fun _ -> Xdr.Dec.string d) in
     let nrev = Xdr.Dec.uint32 d in
     let revoked = List.init nrev (fun _ -> Xdr.Dec.string d) in
+    let naudit = if Xdr.Dec.remaining d > 0 then Xdr.Dec.uint32 d else 0 in
+    let audit =
+      List.init naudit (fun _ ->
+          let au_time = Int64.float_of_bits (Xdr.Dec.uint64 d) in
+          let au_peer = Xdr.Dec.string d in
+          let au_op = Xdr.Dec.string d in
+          let au_ino = Xdr.Dec.uint32 d in
+          let au_value = Xdr.Dec.string d in
+          let au_granted = Xdr.Dec.uint32 d = 1 in
+          { au_time; au_peer; au_op; au_ino; au_value; au_granted })
+    in
     Xdr.Dec.expect_end d;
-    (creds, revoked)
+    (creds, revoked, audit)
   with
   | exception Xdr.Decode_error m -> Error ("corrupt state: " ^ m)
-  | creds, revoked ->
+  | creds, revoked, audit ->
     t.revoked_keys <- revoked;
+    t.audit <- audit;
     let admitted = ref 0 in
     let failures = ref [] in
     List.iter

@@ -2,6 +2,8 @@ module Clock = Simnet.Clock
 module Cost = Simnet.Cost
 module Stats = Simnet.Stats
 
+exception Io_error of string
+
 type t = {
   clock : Clock.t;
   cost : Cost.t;
@@ -10,11 +12,23 @@ type t = {
   block_size : int;
   store : (int, bytes) Hashtbl.t; (* lazily allocated blocks *)
   mutable head : int; (* last block under the head, for the seek model *)
+  mutable fault : Simnet.Fault.t option;
 }
 
 let create ~clock ~cost ~stats ~nblocks ~block_size =
   if nblocks <= 0 || block_size <= 0 then invalid_arg "Blockdev.create";
-  { clock; cost; stats; nblocks; block_size; store = Hashtbl.create 1024; head = 0 }
+  {
+    clock;
+    cost;
+    stats;
+    nblocks;
+    block_size;
+    store = Hashtbl.create 1024;
+    head = 0;
+    fault = None;
+  }
+
+let set_fault t f = t.fault <- f
 
 let block_size t = t.block_size
 let nblocks t = t.nblocks
@@ -33,19 +47,43 @@ let charge t i =
 
 let check t i = if i < 0 || i >= t.nblocks then invalid_arg "Blockdev: block out of range"
 
+(* Consult the fault script for this operation; returns the fault to
+   apply, if any. Reads can fail or return corrupted data; writes can
+   fail (the block is then not updated, as if the controller errored
+   before commit). *)
+let disk_fault t =
+  match t.fault with None -> None | Some f -> Simnet.Fault.disk_decide f
+
 let read t i =
   check t i;
   charge t i;
   Stats.incr t.stats "disk.reads";
-  match Hashtbl.find_opt t.store i with
-  | Some b -> Bytes.copy b
-  | None -> Bytes.make t.block_size '\000'
+  let data =
+    match Hashtbl.find_opt t.store i with
+    | Some b -> Bytes.copy b
+    | None -> Bytes.make t.block_size '\000'
+  in
+  match disk_fault t with
+  | Some Simnet.Fault.Fail_read ->
+    Stats.incr t.stats "disk.io_errors";
+    raise (Io_error (Printf.sprintf "read error at block %d" i))
+  | Some Simnet.Fault.Corrupt_read ->
+    Stats.incr t.stats "disk.corruptions";
+    (match t.fault with
+    | Some f -> Bytes.of_string (Simnet.Fault.corrupt_bytes f (Bytes.to_string data))
+    | None -> data)
+  | Some Simnet.Fault.Fail_write | None -> data
 
 let write t i b =
   check t i;
   if Bytes.length b <> t.block_size then invalid_arg "Blockdev.write: bad block length";
   charge t i;
   Stats.incr t.stats "disk.writes";
+  (match disk_fault t with
+  | Some Simnet.Fault.Fail_write ->
+    Stats.incr t.stats "disk.io_errors";
+    raise (Io_error (Printf.sprintf "write error at block %d" i))
+  | Some Simnet.Fault.Fail_read | Some Simnet.Fault.Corrupt_read | None -> ());
   Hashtbl.replace t.store i (Bytes.copy b)
 
 let snapshot t =

@@ -4,6 +4,9 @@
     pays an average seek. Storage is allocated lazily so large mostly
     -empty volumes are cheap. *)
 
+exception Io_error of string
+(** A scripted disk fault fired: the read or write did not happen. *)
+
 type t
 
 val create :
@@ -18,6 +21,13 @@ val block_size : t -> int
 val nblocks : t -> int
 val clock : t -> Simnet.Clock.t
 val stats : t -> Simnet.Stats.t
+
+val set_fault : t -> Simnet.Fault.t option -> unit
+(** Attach a fault injector whose scripted disk faults
+    ({!Simnet.Fault.script_disk}) fire on this device's reads and
+    writes: failed operations raise {!Io_error} (counted under
+    ["disk.io_errors"]), corrupt reads flip a byte (counted under
+    ["disk.corruptions"]). *)
 
 val read : t -> int -> bytes
 (** [read t i] returns a copy of block [i] (zeros if never written).

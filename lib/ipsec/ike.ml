@@ -41,7 +41,7 @@ let decode_auth msg =
   (share, signature, pub)
 
 let establish ~link ~drbg ~initiator ~responder ?(mitm = fun ~msg:_ s -> s)
-    ?(cipher = Sa.Chacha20_poly1305) () =
+    ?(cipher = Sa.Chacha20_poly1305) ?lifetime () =
   let clock = Link.clock link in
   let cost = Link.cost link in
   let stats = Link.stats link in
@@ -92,7 +92,7 @@ let establish ~link ~drbg ~initiator ~responder ?(mitm = fun ~msg:_ s -> s)
   let k_i2r, k_r2i, spi_i2r, spi_r2i = keys z_i in
   let k_i2r', k_r2i', _, _ = keys z_r in
   if k_i2r <> k_i2r' || k_r2i <> k_r2i' then raise (Ike_failure "key agreement failed");
-  let sa key spi = Sa.create ~clock ~cost ~stats ~spi ~key ~cipher () in
+  let sa key spi = Sa.create ~clock ~cost ~stats ~spi ~key ~cipher ?lifetime () in
   let initiator_ep =
     { tx = sa k_i2r spi_i2r; rx = sa k_r2i spi_r2i; peer = principal r_pub_seen }
   in
@@ -100,6 +100,37 @@ let establish ~link ~drbg ~initiator ~responder ?(mitm = fun ~msg:_ s -> s)
     { tx = sa k_r2i spi_r2i; rx = sa k_i2r spi_i2r; peer = principal i_pub_seen }
   in
   (initiator_ep, responder_ep)
+
+(* Soft-lifetime re-keying: an abbreviated two-message exchange in
+   the role of IKE quick mode. Fresh traffic keys are derived by
+   PRF from the existing SA keys and a nonce — no public-key
+   operations, so it is ~an order of magnitude cheaper than the main
+   mode. Both directions get new keys, new SPIs and reset sequence
+   counters / replay windows. *)
+let rekey ~link ~drbg ~client ~server () =
+  let clock = Link.clock link in
+  let cost = Link.cost link in
+  let stats = Link.stats link in
+  Clock.advance clock cost.Cost.ike_rekey;
+  Simnet.Stats.incr stats "ike.rekeys";
+  let nonce = Drbg.bytes drbg 16 in
+  (* Two small datagrams: nonce offer, nonce confirm. *)
+  Link.transmit link (16 + 8);
+  Link.transmit link (16 + 8);
+  let derive old_sa label =
+    let key = Dcrypto.Hmac.sha256 ~key:(Sa.key old_sa) ("rekey:" ^ label ^ ":" ^ nonce) in
+    let spi = 1 + ((Char.code key.[0] lsl 8) lor Char.code key.[1]) in
+    let lifetime = match Sa.lifetime old_sa with l when l = max_int -> None | l -> Some l in
+    Sa.create ~clock ~cost ~stats ~spi ~key ~cipher:(Sa.cipher old_sa) ?lifetime ()
+  in
+  (* client.tx and server.rx share a key (and likewise client.rx /
+     server.tx), so deriving from each of the client's SAs yields the
+     same keys the server would derive. *)
+  let i2r = derive client.tx "i2r" in
+  let r2i = derive client.rx "r2i" in
+  let client' = { tx = i2r; rx = r2i; peer = client.peer } in
+  let server' = { tx = r2i; rx = i2r; peer = server.peer } in
+  (client', server')
 
 let rpc_channel ~client ~server =
   {

@@ -18,12 +18,30 @@ val establish :
   responder:Dcrypto.Dsa.private_key ->
   ?mitm:(msg:int -> string -> string) ->
   ?cipher:Sa.cipher ->
+  ?lifetime:int ->
   unit ->
   endpoint * endpoint
 (** Run the exchange over [link] (charging wire and CPU time) and
     return the (initiator, responder) endpoints. [mitm] lets tests
     tamper with a numbered handshake message in flight; any
-    modification makes the exchange fail with {!Ike_failure}. *)
+    modification makes the exchange fail with {!Ike_failure}.
+    [lifetime] is the per-SA soft lifetime in packets (see
+    {!Sa.soft_expired}). *)
+
+val rekey :
+  link:Simnet.Link.t ->
+  drbg:Dcrypto.Drbg.t ->
+  client:endpoint ->
+  server:endpoint ->
+  unit ->
+  endpoint * endpoint
+(** Abbreviated quick-mode-style refresh for SAs that hit their soft
+    lifetime: new traffic keys are PRF-derived from the existing SA
+    keys and a fresh nonce — no public-key operations, so it charges
+    only [cost.ike_rekey]. Returns replacement (client, server)
+    endpoints with new SPIs, reset sequence counters and empty replay
+    windows; peers, cipher and lifetime carry over. Counted under
+    ["ike.rekeys"]. *)
 
 val rpc_channel : client:endpoint -> server:endpoint -> Oncrpc.Rpc.channel
 (** Wire the two endpoints into the RPC layer's directional

@@ -7,6 +7,7 @@ type t = {
   clock : Simnet.Clock.t;
   cost : Simnet.Cost.t;
   stats : Simnet.Stats.t;
+  lifetime : int;
   mutable seq_out : int;
   mutable window_top : int; (* highest sequence number seen *)
   mutable window_bits : int; (* bitmask of the 63 numbers below it *)
@@ -14,9 +15,10 @@ type t = {
 
 let window_size = 64
 
-let create ~clock ~cost ~stats ~spi ~key ?(cipher = Chacha20_poly1305) () =
+let create ~clock ~cost ~stats ~spi ~key ?(cipher = Chacha20_poly1305) ?(lifetime = max_int) () =
   if String.length key <> 32 then invalid_arg "Sa.create: key must be 32 bytes";
-  { spi; key; cipher; clock; cost; stats; seq_out = 0; window_top = 0; window_bits = 0 }
+  if lifetime <= 0 then invalid_arg "Sa.create: lifetime must be positive";
+  { spi; key; cipher; clock; cost; stats; lifetime; seq_out = 0; window_top = 0; window_bits = 0 }
 
 let spi t = t.spi
 let key t = t.key
@@ -24,6 +26,9 @@ let cipher t = t.cipher
 let clock t = t.clock
 let cost t = t.cost
 let stats t = t.stats
+let lifetime t = t.lifetime
+let seq_out t = t.seq_out
+let soft_expired t = t.seq_out >= t.lifetime
 
 let next_seq t =
   t.seq_out <- t.seq_out + 1;

@@ -15,10 +15,14 @@ val create :
   spi:int ->
   key:string ->
   ?cipher:cipher ->
+  ?lifetime:int ->
   unit ->
   t
 (** [key] must be 32 bytes; [cipher] defaults to
-    [Chacha20_poly1305]. *)
+    [Chacha20_poly1305]. [lifetime] is the soft lifetime in packets:
+    once [seq_out] reaches it, {!soft_expired} reports true and the
+    owner should re-key (the SA itself keeps working — soft, not
+    hard). Defaults to unlimited. *)
 
 val spi : t -> int
 val key : t -> string
@@ -26,6 +30,14 @@ val cipher : t -> cipher
 val clock : t -> Simnet.Clock.t
 val cost : t -> Simnet.Cost.t
 val stats : t -> Simnet.Stats.t
+val lifetime : t -> int
+
+val seq_out : t -> int
+(** Packets sealed under this SA so far. *)
+
+val soft_expired : t -> bool
+(** True once the outbound sequence counter has reached the soft
+    lifetime: time to re-key. *)
 
 val next_seq : t -> int
 (** Allocate the next outbound sequence number (starting at 1). *)

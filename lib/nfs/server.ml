@@ -123,7 +123,8 @@ let run t ~conn ~fh ~op f =
     match f () with
     | result -> result
     | exception Proto.Nfs_error status -> reply_status status
-    | exception Ffs.Fs.Error (e, _) -> reply_status (nfs_status_of_fs_error e))
+    | exception Ffs.Fs.Error (e, _) -> reply_status (nfs_status_of_fs_error e)
+    | exception Ffs.Blockdev.Io_error _ -> reply_status Proto.nfserr_io)
 
 let attr_body t conn attr e = Proto.fattr_encode e (t.hooks.present_attr ~conn attr)
 

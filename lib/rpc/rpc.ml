@@ -2,6 +2,7 @@ module Clock = Simnet.Clock
 module Cost = Simnet.Cost
 module Stats = Simnet.Stats
 module Link = Simnet.Link
+module Fault = Simnet.Fault
 
 type fault =
   | Prog_unavail
@@ -12,16 +13,38 @@ type fault =
 type conn_info = { peer : string; uid : int }
 type handler = conn:conn_info -> proc:int -> args:string -> (string, fault) result
 
+(* Duplicate-request cache: under at-least-once retransmission a
+   non-idempotent call (CREATE, REMOVE, RENAME, WRITE) may arrive
+   twice; the server replays the recorded reply instead of
+   re-executing. Keyed by (peer, xid, proc) as the paper's NFSv2/UDP
+   substrate does by (client address, xid). Bounded FIFO. *)
+let drc_capacity = 512
+
 type server = {
   clock : Clock.t;
   cost : Cost.t;
   stats : Stats.t;
   programs : (int * int, handler) Hashtbl.t;
+  drc : (string * int * int, string) Hashtbl.t;
+  drc_order : (string * int * int) Queue.t;
+  mutable dead : bool;
 }
 
-let server ~clock ~cost ~stats = { clock; cost; stats; programs = Hashtbl.create 8 }
+let server ~clock ~cost ~stats =
+  {
+    clock;
+    cost;
+    stats;
+    programs = Hashtbl.create 8;
+    drc = Hashtbl.create 64;
+    drc_order = Queue.create ();
+    dead = false;
+  }
 
 let register t ~prog ~vers handler = Hashtbl.replace t.programs (prog, vers) handler
+
+let shutdown t = t.dead <- true
+let is_dead t = t.dead
 
 type channel = {
   client_seal : string -> string;
@@ -33,18 +56,59 @@ type channel = {
 let plaintext =
   { client_seal = Fun.id; server_open = Fun.id; server_seal = Fun.id; client_open = Fun.id }
 
+type retry = {
+  base_timeout : float;
+  backoff : float;
+  max_attempts : int;
+  jitter : float;
+}
+
+(* Classic NFS-over-UDP client behaviour: sub-second initial timeout,
+   doubling per retransmission, a handful of attempts before the
+   "server not responding" error. *)
+let default_retry = { base_timeout = 0.8; backoff = 2.0; max_attempts = 6; jitter = 0.1 }
+
 type client = {
   srv : server;
   link : Link.t;
-  channel : channel;
+  mutable channel : channel;
   conn : conn_info;
   mutable xid : int;
+  retry : retry;
+  rng : Fault.Rng.t;
+  mutable before_call : unit -> unit;
+  mutable last_timeout : (int * int * int * string) option;
 }
 
-let connect ~link ?(channel = plaintext) ?(peer = "") ?(uid = 0) srv =
-  { srv; link; channel; conn = { peer; uid }; xid = 0 }
+(* Each connection gets its own xid space so DRC keys (peer, xid,
+   proc) never collide across clients, even plaintext ones that share
+   the empty peer string. *)
+let client_counter = ref 0
+
+let connect ~link ?(channel = plaintext) ?(peer = "") ?(uid = 0) ?(retry = default_retry) srv =
+  incr client_counter;
+  {
+    srv;
+    link;
+    channel;
+    conn = { peer; uid };
+    xid = !client_counter * 1_000_000;
+    retry;
+    rng = Fault.Rng.create ~seed:(Printf.sprintf "rpc-client-%d" !client_counter);
+    before_call = (fun () -> ());
+    last_timeout = None;
+  }
+
+let set_channel t channel = t.channel <- channel
+let set_before_call t f = t.before_call <- f
+
+let take_timeout t =
+  let p = t.last_timeout in
+  t.last_timeout <- None;
+  p
 
 exception Rpc_error of fault
+exception Rpc_timeout of string
 
 (* Wire encoding (RFC 5531): we keep real message framing so tests can
    check byte-level structure and the link charges realistic sizes. *)
@@ -134,34 +198,125 @@ let decode_reply data =
   | 4 -> (xid, Error Garbage_args)
   | n -> (xid, Error (System_err (Printf.sprintf "accept_stat %d" n)))
 
+let drc_put srv key reply =
+  if not (Hashtbl.mem srv.drc key) then begin
+    Hashtbl.replace srv.drc key reply;
+    Queue.push key srv.drc_order;
+    if Queue.length srv.drc_order > drc_capacity then
+      Hashtbl.remove srv.drc (Queue.pop srv.drc_order)
+  end
+
+(* Returns [None] when the server is down (the datagram vanishes and
+   the client's retransmission logic deals with it). *)
 let dispatch srv ~conn data =
-  let c = srv.cost in
-  Stats.incr srv.stats "rpc.calls";
-  Clock.advance srv.clock
-    (c.Cost.rpc_overhead +. (float_of_int (String.length data) *. c.Cost.rpc_per_byte));
-  match decode_call data with
-  | exception Xdr.Decode_error _ -> encode_reply ~xid:0 (Error Garbage_args)
-  | xid, prog, vers, proc, uid, args ->
-    let outcome =
-      match Hashtbl.find_opt srv.programs (prog, vers) with
-      | None -> Error Prog_unavail
-      | Some handler -> (
-        let conn = { conn with uid } in
-        try handler ~conn ~proc ~args
-        with Xdr.Decode_error _ -> Error Garbage_args)
-    in
-    encode_reply ~xid outcome
+  if srv.dead then begin
+    Stats.incr srv.stats "rpc.dropped_dead";
+    None
+  end
+  else begin
+    let c = srv.cost in
+    Stats.incr srv.stats "rpc.calls";
+    Clock.advance srv.clock
+      (c.Cost.rpc_overhead +. (float_of_int (String.length data) *. c.Cost.rpc_per_byte));
+    match decode_call data with
+    | exception Xdr.Decode_error _ -> Some (encode_reply ~xid:0 (Error Garbage_args))
+    | xid, prog, vers, proc, uid, args ->
+      let key = (conn.peer, xid, proc) in
+      (match Hashtbl.find_opt srv.drc key with
+      | Some cached ->
+        Stats.incr srv.stats "rpc.drc_hits";
+        Some cached
+      | None ->
+        let outcome =
+          match Hashtbl.find_opt srv.programs (prog, vers) with
+          | None -> Error Prog_unavail
+          | Some handler -> (
+            let conn = { conn with uid } in
+            try handler ~conn ~proc ~args
+            with Xdr.Decode_error _ -> Error Garbage_args)
+        in
+        let reply = encode_reply ~xid outcome in
+        drc_put srv key reply;
+        Some reply)
+  end
+
+(* Flows for Link.send reorder hold slots: requests and replies
+   travel in opposite directions. *)
+let flow_req = 0
+let flow_rep = 1
 
 let call t ~prog ~vers ~proc args =
+  t.before_call ();
   t.xid <- t.xid + 1;
-  let request = encode_call ~xid:t.xid ~prog ~vers ~proc ~uid:t.conn.uid args in
-  let wire_request = t.channel.client_seal request in
-  Link.transmit t.link (String.length wire_request);
-  let raw_reply = dispatch t.srv ~conn:t.conn (t.channel.server_open wire_request) in
-  let wire_reply = t.channel.server_seal raw_reply in
-  Link.transmit t.link (String.length wire_reply);
-  let xid, outcome = decode_reply (t.channel.client_open wire_reply) in
-  if xid <> t.xid then raise (Xdr.Decode_error "xid mismatch");
-  match outcome with Ok results -> results | Error fault -> raise (Rpc_error fault)
+  let xid = t.xid in
+  let stats = Link.stats t.link in
+  let request = encode_call ~xid ~prog ~vers ~proc ~uid:t.conn.uid args in
+  let rec attempt n timeout =
+    if n > t.retry.max_attempts then begin
+      t.last_timeout <- Some (prog, vers, proc, args);
+      raise
+        (Rpc_timeout
+           (Printf.sprintf "no reply after %d attempts (prog %d, proc %d)" t.retry.max_attempts
+              prog proc))
+    end;
+    if n > 1 then Stats.incr stats "rpc.retransmits";
+    (* Re-seal on every attempt: a retransmission is a fresh datagram
+       with a fresh ESP sequence number, never a replayed packet. *)
+    let wire_request = t.channel.client_seal request in
+    let arrived_requests = Link.send t.link ~flow:flow_req wire_request in
+    (* Server side: a packet that fails to open (corrupted, replayed,
+       wrong SPI) is silently dropped — the client's retry absorbs it.
+       The dispatch loop must never die on wire garbage. *)
+    let arrived_replies =
+      List.concat_map
+        (fun pkt ->
+          match t.channel.server_open pkt with
+          | exception _ ->
+            Stats.incr stats "rpc.server_rx_drops";
+            []
+          | plain -> (
+            match dispatch t.srv ~conn:t.conn plain with
+            | None -> []
+            | Some raw_reply -> Link.send t.link ~flow:flow_rep (t.channel.server_seal raw_reply)))
+        arrived_requests
+    in
+    (* Client side: take the first reply that opens, decodes and
+       matches our xid; drop everything else. *)
+    let result =
+      List.fold_left
+        (fun acc pkt ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match decode_reply (t.channel.client_open pkt) with
+            | exception Rpc_error f -> Some (Error f) (* MSG_DENIED: a real reply *)
+            | exception _ ->
+              Stats.incr stats "rpc.client_rx_drops";
+              None
+            | rxid, outcome ->
+              if rxid = xid then Some outcome
+              else begin
+                Stats.incr stats "rpc.stale_replies";
+                None
+              end))
+        None arrived_replies
+    in
+    match result with
+    | Some (Ok results) ->
+      t.last_timeout <- None;
+      results
+    | Some (Error fault) ->
+      t.last_timeout <- None;
+      raise (Rpc_error fault)
+    | None ->
+      (* Nothing usable came back: wait out the timer (virtual time,
+         with jitter so retransmissions don't synchronize) and try
+         again with the timeout doubled. *)
+      let jitter = 1.0 +. (t.retry.jitter *. ((2.0 *. Fault.Rng.float t.rng) -. 1.0)) in
+      Clock.advance (Link.clock t.link) (timeout *. jitter);
+      attempt (n + 1) (timeout *. t.retry.backoff)
+  in
+  attempt 1 t.retry.base_timeout
 
 let calls_made srv = Stats.get srv.stats "rpc.calls"
+let drc_hits srv = Stats.get srv.stats "rpc.drc_hits"

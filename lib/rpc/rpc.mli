@@ -1,10 +1,21 @@
-(** ONC RPC (RFC 5531 subset) over a simulated link.
+(** ONC RPC (RFC 5531 subset) over a simulated link, with
+    at-least-once datagram semantics.
 
     Calls are fully marshalled to XDR bytes, optionally wrapped by a
     channel transform (the IPsec ESP layer), transmitted over the
-    {!Simnet.Link} (which charges virtual wire time), unwrapped and
-    dispatched. The server charges per-call marshalling/dispatch CPU
-    from the cost model.
+    {!Simnet.Link} (which charges virtual wire time and may inject
+    faults), unwrapped and dispatched. The server charges per-call
+    marshalling/dispatch CPU from the cost model.
+
+    When the link carries a fault injector, the client behaves like
+    the paper's NFS-over-UDP substrate: it retransmits on a timeout
+    with exponential backoff and jitter (re-sealing each attempt so
+    retransmissions carry fresh ESP sequence numbers), and the server
+    keeps a duplicate-request cache keyed by (peer, xid, proc) so
+    retransmitted non-idempotent calls (CREATE, REMOVE, RENAME,
+    WRITE) are answered from the record instead of re-executed.
+    Packets that fail to unseal at either end (corrupted, replayed)
+    are silently dropped and absorbed by the retry loop.
 
     A connection carries a [peer] principal string: the identity the
     secure channel was authenticated to (empty for plaintext
@@ -29,6 +40,14 @@ type server
 val server : clock:Simnet.Clock.t -> cost:Simnet.Cost.t -> stats:Simnet.Stats.t -> server
 val register : server -> prog:int -> vers:int -> handler -> unit
 
+val shutdown : server -> unit
+(** Simulate a server crash: every datagram sent to this server from
+    now on vanishes (counted under ["rpc.dropped_dead"]), so clients
+    time out and retransmit. Used with a fresh [server] to model
+    crash/restart. *)
+
+val is_dead : server -> bool
+
 type client
 
 type channel = {
@@ -45,14 +64,56 @@ type channel = {
 val plaintext : channel
 (** Identity transforms. *)
 
+type retry = {
+  base_timeout : float; (** virtual seconds before the first retransmission *)
+  backoff : float; (** timeout multiplier per retransmission *)
+  max_attempts : int; (** total transmissions before {!Rpc_timeout} *)
+  jitter : float; (** +/- fraction of the timeout, desynchronizes retries *)
+}
+
+val default_retry : retry
+(** 0.8 s initial timeout, doubling, 6 attempts, 10% jitter — the
+    classic NFS/UDP client profile. *)
+
 val connect :
-  link:Simnet.Link.t -> ?channel:channel -> ?peer:string -> ?uid:int -> server -> client
+  link:Simnet.Link.t ->
+  ?channel:channel ->
+  ?peer:string ->
+  ?uid:int ->
+  ?retry:retry ->
+  server ->
+  client
+
+val set_channel : client -> channel -> unit
+(** Swap the wire transforms in place — used when the SAs are
+    re-keyed mid-connection. *)
+
+val set_before_call : client -> (unit -> unit) -> unit
+(** Hook run at the top of every {!call} (before the xid is
+    allocated); the IPsec layer uses it to re-key SAs that hit their
+    soft lifetime. *)
+
+val take_timeout : client -> (int * int * int * string) option
+(** The (prog, vers, proc, args) of the last call that raised
+    {!Rpc_timeout}, if it has not since been superseded by a
+    successful call; reading clears it. Crash recovery replays this
+    in-flight operation after reattaching. *)
 
 exception Rpc_error of fault
 
+exception Rpc_timeout of string
+(** No usable reply after [retry.max_attempts] transmissions: the
+    server is down or the path is fully broken. *)
+
 val call : client -> prog:int -> vers:int -> proc:int -> string -> string
 (** Marshal, transmit, dispatch, return the result bytes. Raises
-    {!Rpc_error} on RPC-level failure and [Xdr.Decode_error] on a
-    malformed reply. *)
+    {!Rpc_error} on RPC-level failure and {!Rpc_timeout} when
+    retransmissions are exhausted. Retry progress is visible in the
+    link's stats: ["rpc.retransmits"], ["rpc.server_rx_drops"],
+    ["rpc.client_rx_drops"], ["rpc.stale_replies"]. *)
 
 val calls_made : server -> int
+
+val drc_hits : server -> int
+(** Retransmitted requests answered from the duplicate-request cache
+    instead of being re-executed. *)

@@ -12,6 +12,7 @@ type t = {
   esp_per_byte : float;
   esp_tdes_per_byte : float;
   ike_handshake : float;
+  ike_rekey : float;
   keynote_query : float;
   keynote_cached : float;
   credential_verify : float;
@@ -51,6 +52,7 @@ let default =
     esp_per_byte = 0.000000005;
     esp_tdes_per_byte = 0.00000023; (* ~4.3 MB/s: period-accurate 3DES *)
     ike_handshake = 0.12;
+    ike_rekey = 0.015; (* quick-mode-style refresh: no public-key ops *)
     keynote_query = 0.0003;
     keynote_cached = 0.000002;
     credential_verify = 0.011;

@@ -23,6 +23,7 @@ type t = {
   esp_per_byte : float; (** cipher+MAC cost per byte (fast transform), s *)
   esp_tdes_per_byte : float; (** 3DES-CBC + HMAC-SHA1 cost per byte, s *)
   ike_handshake : float; (** full IKE exchange incl. DSA + DH, s *)
+  ike_rekey : float; (** abbreviated re-keying exchange (no public-key ops), s *)
   keynote_query : float; (** uncached KeyNote compliance check (no signature work), s *)
   keynote_cached : float; (** policy-cache hit, s *)
   credential_verify : float; (** DSA signature check on submission, s *)

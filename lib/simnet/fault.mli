@@ -1,0 +1,58 @@
+(** Deterministic, seeded fault injection for the simulated network
+    and disk. A [Fault.t] attached to a {!Link} makes each
+    transmission subject to drop/duplicate/reorder/corrupt with the
+    configured probabilities; attached to a block device it fails or
+    corrupts scripted disk operations. Same seed, same schedule. *)
+
+module Rng : sig
+  (** A small deterministic PRNG (splitmix64) for fault scheduling
+      and retry jitter — not for cryptography. *)
+
+  type t
+
+  val create : seed:string -> t
+  val next : t -> int64
+  val float : t -> float
+  (** Uniform in [[0, 1)]. *)
+
+  val int_below : t -> int -> int
+  (** Uniform in [[0, n)]; [n] must be positive. *)
+end
+
+type net = { drop : float; duplicate : float; reorder : float; corrupt : float }
+(** Per-packet fault probabilities; at most one fault fires per
+    packet, chosen in the field order listed. *)
+
+val no_net : net
+
+val lossy : float -> net
+(** [lossy p] drops with probability [p] and duplicates/reorders/
+    corrupts with probability [p/4] each — a rough model of a bad
+    WAN path. *)
+
+type net_action = Deliver | Drop | Duplicate | Reorder | Corrupt
+
+type disk_fault = Fail_read | Fail_write | Corrupt_read
+
+type t
+
+val create : ?net:net -> ?seed:string -> unit -> t
+val rng : t -> Rng.t
+val set_net : t -> net -> unit
+
+val net_decide : t -> net_action
+(** Roll the fate of one packet. *)
+
+val corrupt_bytes : t -> string -> string
+(** Flip one random byte (identity on the empty string). *)
+
+val script_disk : t -> (int * disk_fault) list -> unit
+(** Schedule faults by disk-operation index (0-based, counting every
+    read and write on the device the fault is attached to). Each
+    scripted fault fires once. *)
+
+val disk_decide : t -> disk_fault option
+(** Called by the block device per operation; advances the op
+    counter and consumes any scripted fault. *)
+
+val disk_ops : t -> int

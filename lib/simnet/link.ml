@@ -1,9 +1,17 @@
-type t = { clock : Clock.t; cost : Cost.t; stats : Stats.t }
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  stats : Stats.t;
+  mutable fault : Fault.t option;
+  held : (int, string) Hashtbl.t; (* per-flow reorder hold slot *)
+}
 
-let create ~clock ~cost ~stats = { clock; cost; stats }
+let create ~clock ~cost ~stats = { clock; cost; stats; fault = None; held = Hashtbl.create 4 }
 let clock t = t.clock
 let cost t = t.cost
 let stats t = t.stats
+let set_fault t f = t.fault <- f
+let fault t = t.fault
 
 let transmit t nbytes =
   if nbytes < 0 then invalid_arg "Link.transmit: negative size";
@@ -15,6 +23,39 @@ let transmit t nbytes =
   Clock.advance t.clock (c.Cost.net_latency +. serialization);
   Stats.add t.stats "link.bytes" nbytes;
   Stats.incr t.stats "link.messages"
+
+let send t ?(flow = 0) payload =
+  transmit t (String.length payload);
+  match t.fault with
+  | None -> [ payload ]
+  | Some f ->
+    (* A packet held for reordering is released behind the next packet
+       on the same flow (its wire time was charged when it was sent). *)
+    let release delivered =
+      match Hashtbl.find_opt t.held flow with
+      | None -> delivered
+      | Some held ->
+        Hashtbl.remove t.held flow;
+        delivered @ [ held ]
+    in
+    (match Fault.net_decide f with
+    | Fault.Deliver -> release [ payload ]
+    | Fault.Drop ->
+      Stats.incr t.stats "link.drops";
+      release []
+    | Fault.Duplicate ->
+      Stats.incr t.stats "link.dups";
+      release [ payload; payload ]
+    | Fault.Corrupt ->
+      Stats.incr t.stats "link.corruptions";
+      release [ Fault.corrupt_bytes f payload ]
+    | Fault.Reorder ->
+      if Hashtbl.mem t.held flow then release [ payload ]
+      else begin
+        Stats.incr t.stats "link.reorders";
+        Hashtbl.replace t.held flow payload;
+        []
+      end)
 
 let bytes_sent t = Stats.get t.stats "link.bytes"
 let messages_sent t = Stats.get t.stats "link.messages"

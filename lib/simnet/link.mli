@@ -1,6 +1,8 @@
 (** A duplex point-to-point link with latency and bandwidth, shared
     by the RPC and IPsec layers. Transmitting advances the virtual
-    clock and counts traffic. *)
+    clock and counts traffic. A {!Fault.t} can be attached to make
+    the link lossy: {!send} then models drop, duplication,
+    reordering and corruption. *)
 
 type t
 
@@ -9,9 +11,25 @@ val clock : t -> Clock.t
 val cost : t -> Cost.t
 val stats : t -> Stats.t
 
+val set_fault : t -> Fault.t option -> unit
+(** Attach (or remove) a fault injector. Without one, {!send}
+    delivers exactly what was sent. *)
+
+val fault : t -> Fault.t option
+
 val transmit : t -> int -> unit
 (** [transmit t nbytes] charges one one-way message of [nbytes]:
     latency plus serialization at the link bandwidth. *)
+
+val send : t -> ?flow:int -> string -> string list
+(** [send t ~flow payload] charges wire time for the attempt and
+    returns the copies that actually arrive, in order: [[]] if
+    dropped or held for reordering, two copies if duplicated, a
+    bit-flipped copy if corrupted. [flow] separates directions (or
+    higher-level flows) so a packet held for reordering is released
+    behind the next packet on the same flow only. Fault events are
+    counted under ["link.drops"], ["link.dups"], ["link.reorders"],
+    ["link.corruptions"]. *)
 
 val bytes_sent : t -> int
 val messages_sent : t -> int

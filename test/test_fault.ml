@@ -1,0 +1,367 @@
+(* Robustness under injected faults: lossy links, scripted disk
+   errors, at-least-once RPC with the duplicate-request cache, SA
+   re-keying, and server crash/recovery. Everything is seeded and
+   deterministic: a failure here reproduces byte-for-byte. *)
+
+module Clock = Simnet.Clock
+module Stats = Simnet.Stats
+module Link = Simnet.Link
+module Fault = Simnet.Fault
+module Rpc = Oncrpc.Rpc
+module Proto = Nfs.Proto
+module Deploy = Discfs.Deploy
+module Client = Discfs.Client
+module Server = Discfs.Server
+
+(* --- link-level fault actions ---------------------------------------- *)
+
+let test_link_fault_actions () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let link = Link.create ~clock ~cost:Simnet.Cost.default ~stats in
+  let fault = Fault.create ~seed:"link-unit" () in
+  Link.set_fault link (Some fault);
+  Fault.set_net fault { Fault.drop = 1.0; duplicate = 0.0; reorder = 0.0; corrupt = 0.0 };
+  Alcotest.(check (list string)) "dropped" [] (Link.send link "hello");
+  Alcotest.(check int) "drop counted" 1 (Stats.get stats "link.drops");
+  Fault.set_net fault { Fault.drop = 0.0; duplicate = 1.0; reorder = 0.0; corrupt = 0.0 };
+  Alcotest.(check (list string)) "duplicated" [ "hello"; "hello" ] (Link.send link "hello");
+  Fault.set_net fault { Fault.drop = 0.0; duplicate = 0.0; reorder = 0.0; corrupt = 1.0 };
+  (match Link.send link "hello" with
+  | [ p ] ->
+    Alcotest.(check int) "corrupt keeps length" 5 (String.length p);
+    Alcotest.(check bool) "corrupt changes bytes" true (p <> "hello")
+  | l -> Alcotest.failf "corrupt delivered %d packets" (List.length l));
+  (* Reorder: the packet is held and released behind the next packet
+     on the same flow; other flows are unaffected. *)
+  Fault.set_net fault { Fault.drop = 0.0; duplicate = 0.0; reorder = 1.0; corrupt = 0.0 };
+  Alcotest.(check (list string)) "held" [] (Link.send link ~flow:3 "first");
+  Alcotest.(check (list string)) "released behind successor" [ "second"; "first" ]
+    (Link.send link ~flow:3 "second");
+  Fault.set_net fault Fault.no_net;
+  Alcotest.(check (list string)) "other flow clean" [ "x" ] (Link.send link ~flow:9 "x")
+
+(* --- scripted disk faults --------------------------------------------- *)
+
+let test_blockdev_scripted_faults () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let dev =
+    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:16 ~block_size:512
+  in
+  let fault = Fault.create ~seed:"disk-unit" () in
+  Ffs.Blockdev.set_fault dev (Some fault);
+  let block = Bytes.make 512 'a' in
+  Ffs.Blockdev.write dev 3 block (* op 0 *);
+  Fault.script_disk fault
+    [ (1, Fault.Fail_read); (3, Fault.Corrupt_read); (4, Fault.Fail_write) ];
+  (match Ffs.Blockdev.read dev 3 (* op 1 *) with
+  | exception Ffs.Blockdev.Io_error _ -> ()
+  | _ -> Alcotest.fail "scripted read fault did not fire");
+  Alcotest.(check string) "clean read between faults" (Bytes.to_string block)
+    (Bytes.to_string (Ffs.Blockdev.read dev 3 (* op 2 *)));
+  Alcotest.(check bool) "corrupt read differs" true
+    (Bytes.to_string (Ffs.Blockdev.read dev 3 (* op 3 *)) <> Bytes.to_string block);
+  (match Ffs.Blockdev.write dev 3 (Bytes.make 512 'b') (* op 4 *) with
+  | exception Ffs.Blockdev.Io_error _ -> ()
+  | () -> Alcotest.fail "scripted write fault did not fire");
+  (* The failed write did not reach the platter. *)
+  Alcotest.(check string) "block intact after failed write" (Bytes.to_string block)
+    (Bytes.to_string (Ffs.Blockdev.read dev 3 (* op 5 *)));
+  Alcotest.(check int) "io errors counted" 2 (Stats.get stats "disk.io_errors")
+
+(* --- replay window: model-based property ------------------------------ *)
+
+let prop_replay_window_model =
+  (* Reference model: a sequence number is accepted exactly once, and
+     only while it is within 62 of the highest number seen. *)
+  QCheck.Test.make ~name:"replay window matches reference model" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 200) (int_range 0 150)))
+    (fun seqs ->
+      let clock = Clock.create () in
+      let stats = Stats.create () in
+      let sa =
+        Ipsec.Sa.create ~clock ~cost:Simnet.Cost.default ~stats ~spi:1
+          ~key:(String.make 32 'k') ()
+      in
+      let top = ref 0 in
+      let seen = Hashtbl.create 64 in
+      let model seq =
+        if seq <= 0 then false
+        else if Hashtbl.mem seen seq then false
+        else if seq > !top then begin
+          Hashtbl.replace seen seq ();
+          top := seq;
+          true
+        end
+        else if !top - seq >= 63 then false
+        else begin
+          Hashtbl.replace seen seq ();
+          true
+        end
+      in
+      List.for_all (fun seq -> Ipsec.Sa.replay_check sa seq = model seq) seqs)
+
+(* --- duplicate-request cache ------------------------------------------ *)
+
+let all_duplicates = { Fault.drop = 0.0; duplicate = 1.0; reorder = 0.0; corrupt = 0.0 }
+
+let root_listing fs =
+  List.filter_map
+    (fun (name, ino) ->
+      if name = "." || name = ".." then None
+      else begin
+        let attr = Ffs.Fs.getattr fs ino in
+        Some (name, Ffs.Fs.read fs ino ~off:0 ~len:attr.Ffs.Inode.a_size)
+      end)
+    (Ffs.Fs.readdir fs (Ffs.Fs.root fs))
+  |> List.sort compare
+
+let test_drc_dedups_duplicates () =
+  (* Plaintext NFS with every datagram doubled: the server sees each
+     request twice and must execute it once, answering the copy from
+     the duplicate-request cache. *)
+  let d = Cfs.Cfs_ne.deploy () in
+  let nfs, root = Cfs.Cfs_ne.connect d () in
+  let fault = Fault.create ~net:all_duplicates ~seed:"drc-unit" () in
+  Link.set_fault d.Cfs.Cfs_ne.link (Some fault);
+  let fh, _ = Nfs.Client.create_file nfs root "once" Proto.sattr_none in
+  ignore (Nfs.Client.write nfs fh ~off:0 "payload");
+  Nfs.Client.remove nfs root "once";
+  Alcotest.(check int) "every duplicate hit the cache" 3 (Rpc.drc_hits d.Cfs.Cfs_ne.rpc);
+  Alcotest.(check (list (pair string string))) "final state clean" []
+    (root_listing d.Cfs.Cfs_ne.fs)
+
+type op = OpCreate of int | OpRemove of int | OpWrite of int * string
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 12)
+      (map2
+         (fun kind (n, data) ->
+           match kind with
+           | 0 -> OpCreate n
+           | 1 -> OpRemove n
+           | _ -> OpWrite (n, data))
+         (int_bound 2)
+         (pair (int_bound 3) small_string)))
+
+let apply_ops ~net ops =
+  let d = Cfs.Cfs_ne.deploy ~nblocks:512 ~ninodes:64 () in
+  let nfs, root = Cfs.Cfs_ne.connect d () in
+  (match net with
+  | None -> ()
+  | Some net -> Link.set_fault d.Cfs.Cfs_ne.link (Some (Fault.create ~net ~seed:"drc-prop" ())));
+  let name n = Printf.sprintf "f%d" n in
+  List.iter
+    (fun op ->
+      try
+        match op with
+        | OpCreate n -> ignore (Nfs.Client.create_file nfs root (name n) Proto.sattr_none)
+        | OpRemove n -> Nfs.Client.remove nfs root (name n)
+        | OpWrite (n, data) ->
+          let fh =
+            try fst (Nfs.Client.lookup nfs root (name n))
+            with Proto.Nfs_error _ ->
+              fst (Nfs.Client.create_file nfs root (name n) Proto.sattr_none)
+          in
+          ignore (Nfs.Client.write nfs fh ~off:0 data)
+      with Proto.Nfs_error _ -> ())
+    ops;
+  (root_listing d.Cfs.Cfs_ne.fs, d)
+
+let prop_drc_idempotent =
+  (* Non-idempotent schedules (CREATE/REMOVE/WRITE) under heavy
+     duplication must leave the filesystem in exactly the state a
+     clean network produces. *)
+  QCheck.Test.make ~name:"duplicated schedules leave identical fs state" ~count:30
+    (QCheck.make gen_ops) (fun ops ->
+      let clean, _ = apply_ops ~net:None ops in
+      let faulty, d = apply_ops ~net:(Some { all_duplicates with Fault.duplicate = 0.5 }) ops in
+      let dups = Stats.get d.Cfs.Cfs_ne.stats "link.dups" in
+      let hits = Rpc.drc_hits d.Cfs.Cfs_ne.rpc in
+      clean = faulty && hits <= dups)
+
+(* --- ESP boundary: corrupted packets are dropped, not fatal ----------- *)
+
+let test_esp_corruption_dropped () =
+  let fault =
+    Fault.create
+      ~net:{ Fault.drop = 0.0; duplicate = 0.0; reorder = 0.0; corrupt = 0.25 }
+      ~seed:"esp-corrupt" ()
+  in
+  let d = Deploy.make ~seed:"esp-corrupt" ~fault () in
+  (* A quarter of packets corrupted means ~44% of attempts fail; give
+     the client enough retransmissions to ride it out. *)
+  let retry = { Rpc.default_retry with Rpc.max_attempts = 12 } in
+  let alice = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 ~retry () in
+  let root = Client.root alice in
+  let fh, _, _ = Client.create alice ~dir:root "noisy.txt" () in
+  Nfs.Client.write_all (Client.nfs alice) fh "intact despite the noise";
+  for _ = 1 to 20 do
+    let _, data = Nfs.Client.read (Client.nfs alice) fh ~off:0 ~count:100 in
+    Alcotest.(check string) "reads stay correct" "intact despite the noise" data
+  done;
+  let get k = Stats.get d.Deploy.stats k in
+  Alcotest.(check bool) "corruptions occurred" true (get "link.corruptions" > 0);
+  Alcotest.(check bool) "boundary dropped bad packets" true
+    (get "rpc.server_rx_drops" + get "rpc.client_rx_drops" > 0);
+  Alcotest.(check bool) "client retried through it" true (get "rpc.retransmits" > 0)
+
+(* --- SA soft lifetime and abbreviated rekey --------------------------- *)
+
+let test_ike_rekey () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let link = Link.create ~clock ~cost:Simnet.Cost.default ~stats in
+  let drbg = Dcrypto.Drbg.create ~seed:"rekey-unit" in
+  let initiator = Dcrypto.Dsa.generate_key drbg in
+  let responder = Dcrypto.Dsa.generate_key drbg in
+  let c, s = Ipsec.Ike.establish ~link ~drbg ~initiator ~responder ~lifetime:4 () in
+  Alcotest.(check bool) "fresh sa not expired" false (Ipsec.Sa.soft_expired c.Ipsec.Ike.tx);
+  for _ = 1 to 4 do
+    ignore (Ipsec.Esp.seal c.Ipsec.Ike.tx "tick")
+  done;
+  Alcotest.(check bool) "soft-expired at lifetime" true (Ipsec.Sa.soft_expired c.Ipsec.Ike.tx);
+  let t0 = Clock.now clock in
+  let c2, s2 = Ipsec.Ike.rekey ~link ~drbg ~client:c ~server:s () in
+  let rekey_time = Clock.now clock -. t0 in
+  Alcotest.(check bool) "new tx key" true
+    (Ipsec.Sa.key c2.Ipsec.Ike.tx <> Ipsec.Sa.key c.Ipsec.Ike.tx);
+  Alcotest.(check string) "peer preserved" c.Ipsec.Ike.peer c2.Ipsec.Ike.peer;
+  Alcotest.(check int) "lifetime carried over" 4 (Ipsec.Sa.lifetime c2.Ipsec.Ike.tx);
+  let pkt = Ipsec.Esp.seal c2.Ipsec.Ike.tx "fresh keys" in
+  Alcotest.(check string) "new SAs interoperate" "fresh keys"
+    (Ipsec.Esp.open_ s2.Ipsec.Ike.rx pkt);
+  Alcotest.(check int) "rekey counted" 1 (Stats.get stats "ike.rekeys");
+  (* Quick mode is cheap: no public-key operations. *)
+  let t1 = Clock.now clock in
+  ignore (Ipsec.Ike.establish ~link ~drbg ~initiator ~responder ());
+  let handshake_time = Clock.now clock -. t1 in
+  Alcotest.(check bool) "much cheaper than main mode" true
+    (rekey_time < handshake_time /. 5.0)
+
+let test_client_auto_rekey () =
+  (* A client attached with a small SA lifetime re-keys transparently
+     mid-workload; traffic is uninterrupted. *)
+  let d = Deploy.make ~seed:"auto-rekey" () in
+  let alice = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 ~sa_lifetime:6 () in
+  let root = Client.root alice in
+  let fh, _, _ = Client.create alice ~dir:root "r.txt" () in
+  Nfs.Client.write_all (Client.nfs alice) fh "rekey survives";
+  for _ = 1 to 15 do
+    let _, data = Nfs.Client.read (Client.nfs alice) fh ~off:0 ~count:100 in
+    Alcotest.(check string) "content across rekeys" "rekey survives" data
+  done;
+  Alcotest.(check bool) "rekeys happened" true (Stats.get d.Deploy.stats "ike.rekeys" >= 2)
+
+(* --- disk faults surface as NFS EIO ----------------------------------- *)
+
+let test_disk_fault_maps_to_eio () =
+  let fault = Fault.create ~seed:"disk-eio" () in
+  let d = Deploy.make ~seed:"disk-eio" ~fault () in
+  let alice = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 () in
+  let root = Client.root alice in
+  let fh, _, _ = Client.create alice ~dir:root "frail.txt" () in
+  Nfs.Client.write_all (Client.nfs alice) fh "fragile data";
+  Fault.script_disk fault [ (Fault.disk_ops fault, Fault.Fail_read) ];
+  (match Nfs.Client.read (Client.nfs alice) fh ~off:0 ~count:100 with
+  | exception Proto.Nfs_error e -> Alcotest.(check int) "EIO" Proto.nfserr_io e
+  | _ -> Alcotest.fail "scripted disk fault did not surface");
+  (* The dispatch loop survived; the next read is clean. *)
+  let _, data = Nfs.Client.read (Client.nfs alice) fh ~off:0 ~count:100 in
+  Alcotest.(check string) "healthy after the error" "fragile data" data
+
+(* --- end-to-end: 5% loss + mid-run server crash ----------------------- *)
+
+(* A fig12-style workload: build a small source tree over NFS, then
+   walk it reading every file. The faulty run must produce the exact
+   bytes the fault-free run does. *)
+
+let e2e_tree =
+  List.concat_map
+    (fun d ->
+      List.map
+        (fun f ->
+          let name = Printf.sprintf "src_%d_%d.c" d f in
+          let line = Printf.sprintf "int var_%d_%d = %d;\n" d f ((d * 31) + f) in
+          let buf = Buffer.create 2048 in
+          for _ = 1 to 40 + (d * 7) + f do
+            Buffer.add_string buf line
+          done;
+          (Printf.sprintf "sys%d" d, name, Buffer.contents buf))
+        [ 0; 1; 2; 3 ])
+    [ 0; 1; 2 ]
+
+let run_e2e ~lossy ~crash_at () =
+  let fault = Fault.create ~seed:"e2e-fault" () in
+  let d = Deploy.make ~seed:"e2e" ~fault () in
+  let alice = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 () in
+  let nfs () = Client.nfs alice in
+  (* Build the tree over NFS on a clean network. *)
+  let dirs = Hashtbl.create 4 in
+  List.iter
+    (fun (dir, file, content) ->
+      let dfh =
+        match Hashtbl.find_opt dirs dir with
+        | Some fh -> fh
+        | None ->
+          let fh, _ = Nfs.Client.mkdir (nfs ()) (Client.root alice) dir Proto.sattr_none in
+          Hashtbl.replace dirs dir fh;
+          fh
+      in
+      let fh, _ = Nfs.Client.create_file (nfs ()) dfh file Proto.sattr_none in
+      Nfs.Client.write_all (nfs ()) fh content)
+    e2e_tree;
+  if lossy then Fault.set_net fault (Fault.lossy 0.05);
+  (* The measured walk; optionally the server dies partway through. *)
+  let results =
+    List.mapi
+      (fun i (dir, file, _) ->
+        if crash_at = Some i then Deploy.crash_and_restart d;
+        let read_one () =
+          let dfh, _ = Nfs.Client.lookup (nfs ()) (Client.root alice) dir in
+          let fh, _ = Nfs.Client.lookup (nfs ()) dfh file in
+          Nfs.Client.read_all (nfs ()) fh
+        in
+        let data =
+          try read_one ()
+          with Rpc.Rpc_timeout _ ->
+            (* Server not responding: re-attach to the new incarnation
+               (fresh IKE + MOUNT, in-flight op replayed) and redo. *)
+            Client.reattach alice ~rpc:d.Deploy.rpc ~server:d.Deploy.server ();
+            read_one ()
+        in
+        (dir, file, data))
+      e2e_tree
+  in
+  (results, d)
+
+let test_e2e_loss_and_crash () =
+  let clean, _ = run_e2e ~lossy:false ~crash_at:None () in
+  List.iter2
+    (fun (_, _, expect) (dir, file, got) ->
+      if expect <> got then Alcotest.failf "clean run corrupted %s/%s" dir file)
+    e2e_tree clean;
+  let faulty, d = run_e2e ~lossy:true ~crash_at:(Some 6) () in
+  Alcotest.(check bool) "byte-identical to fault-free run" true (clean = faulty);
+  let get k = Stats.get d.Deploy.stats k in
+  Alcotest.(check bool) "packets were dropped" true (get "link.drops" > 0);
+  Alcotest.(check bool) "client retransmitted" true (get "rpc.retransmits" > 0);
+  Alcotest.(check int) "exactly one restart" 1 (get "server.restarts");
+  Alcotest.(check bool) "audit trail survived the crash" true
+    (List.length (Server.audit_log d.Deploy.server) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "link fault actions" `Quick test_link_fault_actions;
+    Alcotest.test_case "scripted disk faults" `Quick test_blockdev_scripted_faults;
+    QCheck_alcotest.to_alcotest prop_replay_window_model;
+    Alcotest.test_case "drc dedups duplicated requests" `Quick test_drc_dedups_duplicates;
+    QCheck_alcotest.to_alcotest prop_drc_idempotent;
+    Alcotest.test_case "esp corruption dropped at boundary" `Quick test_esp_corruption_dropped;
+    Alcotest.test_case "ike abbreviated rekey" `Quick test_ike_rekey;
+    Alcotest.test_case "client auto-rekey at soft lifetime" `Quick test_client_auto_rekey;
+    Alcotest.test_case "disk fault maps to EIO" `Quick test_disk_fault_maps_to_eio;
+    Alcotest.test_case "e2e: 5% loss + server crash" `Quick test_e2e_loss_and_crash;
+  ]

@@ -114,6 +114,57 @@ let prop_esp_open_total =
       | _ -> false (* forging a valid packet from noise should not happen *)
       | exception Ipsec.Esp.Esp_error _ -> true)
 
+let prop_esp_mutations_typed_errors =
+  (* Start from a genuinely valid packet, then flip a byte or cut it
+     short. The receiver must raise Esp_error — never Invalid_argument
+     or an out-of-bounds crash. (The no-op mutation that rewrites the
+     same byte is the only case allowed to open.) *)
+  QCheck.Test.make ~name:"esp open: mutated/truncated valid packets raise Esp_error"
+    ~count:300
+    (QCheck.make QCheck.Gen.(triple (int_bound 10_000) (int_bound 255) (int_bound 10_000)))
+    (fun (pos, byte, cut) ->
+      let clock = Simnet.Clock.create () in
+      let stats = Simnet.Stats.create () in
+      let mk () =
+        Ipsec.Sa.create ~clock ~cost:Simnet.Cost.default ~stats ~spi:7
+          ~key:(String.make 32 'f') ()
+      in
+      let tx = mk () and rx = mk () in
+      let packet = Ipsec.Esp.seal tx "the quick brown fox, sealed" in
+      let mutated =
+        let b = Bytes.of_string packet in
+        Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+        Bytes.to_string b
+      in
+      let truncated = String.sub packet 0 (cut mod String.length packet) in
+      let total p =
+        match Ipsec.Esp.open_ rx p with
+        | _ -> p = packet
+        | exception Ipsec.Esp.Esp_error _ -> true
+      in
+      total mutated && total truncated)
+
+let prop_xdr_truncation_typed =
+  (* Any strict prefix of a valid encoding must fail with Decode_error
+     exactly — the decoders never read past the buffer. *)
+  QCheck.Test.make ~name:"xdr decoders: truncation raises Decode_error" ~count:300
+    (QCheck.make QCheck.Gen.(triple (int_bound 0xffff) small_string (int_bound 10_000)))
+    (fun (n, s, cut) ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.uint32 e n;
+      Xdr.Enc.string e s;
+      Xdr.Enc.bool e true;
+      let full = Xdr.Enc.to_string e in
+      let d = Xdr.Dec.of_string (String.sub full 0 (cut mod String.length full)) in
+      match
+        let a = Xdr.Dec.uint32 d in
+        let s' = Xdr.Dec.string d in
+        let b' = Xdr.Dec.bool d in
+        (a, s', b')
+      with
+      | _ -> false (* the prefix is strictly short: something must be missing *)
+      | exception Xdr.Decode_error _ -> true)
+
 let prop_image_loader_total =
   QCheck.Test.make ~name:"fs image loader: total" ~count:100 (QCheck.make (gen_bytes 400))
     (fun junk ->
@@ -136,5 +187,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_xdr_decoder_total;
     QCheck_alcotest.to_alcotest prop_nfs_server_survives_garbage_args;
     QCheck_alcotest.to_alcotest prop_esp_open_total;
+    QCheck_alcotest.to_alcotest prop_esp_mutations_typed_errors;
+    QCheck_alcotest.to_alcotest prop_xdr_truncation_typed;
     QCheck_alcotest.to_alcotest prop_image_loader_total;
   ]

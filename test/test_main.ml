@@ -18,5 +18,6 @@ let () =
       ("cfs", Test_cfs.suite);
       ("webfs", Test_webfs.suite);
       ("fuzz", Test_fuzz.suite);
+      ("fault", Test_fault.suite);
       ("bonnie", Test_bonnie.suite);
     ]
