@@ -8,7 +8,9 @@
    corresponding operation through the actual implementation.
 
    Usage: dune exec bench/main.exe [-- --quick | --no-bechamel | --size MB]
-          dune exec bench/main.exe -- fault_sweep   (robustness sweep only)
+          dune exec bench/main.exe -- fault_sweep        (robustness sweep only)
+          dune exec bench/main.exe -- latency_breakdown  (per-layer virtual time)
+          dune exec bench/main.exe -- trace              (JSONL span dump)
 *)
 
 module Clock = Simnet.Clock
@@ -287,6 +289,94 @@ let fault_sweep () =
     [ 0.0; 0.01; 0.05; 0.10 ]
 
 (* ------------------------------------------------------------------ *)
+(* O1: latency breakdown — per-layer virtual-time shares via tracing   *)
+(*                                                                     *)
+(* The paper reports only end-to-end times (Figures 7-12); this        *)
+(* decomposes the Figure-12 search workload by layer using the span    *)
+(* self-time histograms, with the KeyNote compliance checker isolated  *)
+(* on its own line. Everything is virtual time, so the table is        *)
+(* byte-reproducible across runs.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let layer_of_span name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Fold the "span.self.<name>" histograms of [metrics] into
+   (layer, seconds, spans) rows, descending by time. *)
+let breakdown_rows metrics =
+  let prefix = "span.self." in
+  let plen = String.length prefix in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, h) ->
+      if String.length name > plen && String.sub name 0 plen = prefix then begin
+        let layer = layer_of_span (String.sub name plen (String.length name - plen)) in
+        let s, c = try Hashtbl.find tbl layer with Not_found -> (0.0, 0) in
+        Hashtbl.replace tbl layer (s +. Trace.Metrics.sum h, c + Trace.Metrics.count h)
+      end)
+    (Trace.Metrics.histograms metrics);
+  Hashtbl.fold (fun layer (s, c) acc -> (layer, s, c) :: acc) tbl []
+  |> List.sort (fun (la, sa, _) (lb, sb, _) ->
+         match compare sb sa with 0 -> compare la lb | n -> n)
+
+let latency_breakdown_once spec =
+  let b = Backend.discfs ~tracing:true () in
+  Search.build b spec;
+  match Backend.discfs_deploy b with
+  | None -> failwith "latency_breakdown: discfs backend has no deployment"
+  | Some d ->
+    let trace = d.Discfs.Deploy.trace in
+    let metrics = d.Discfs.Deploy.metrics in
+    (* The tree build is setup; measure only the search walk. *)
+    Trace.Metrics.reset metrics;
+    Trace.reset trace;
+    let _totals, seconds = Search.run b in
+    let rows = breakdown_rows metrics in
+    let total = List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 rows in
+    let buf = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    line "  %-16s %12s %8s %10s" "layer" "seconds" "share" "spans";
+    List.iter
+      (fun (layer, s, c) ->
+        line "  %-16s %12.6f %7.1f%% %10d" layer s (if total = 0.0 then 0.0 else s /. total *. 100.0) c)
+      rows;
+    line "  %-16s %12.6f %7.1f%% %10d" "total traced" total 100.0
+      (List.fold_left (fun acc (_, _, c) -> acc + c) 0 rows);
+    line "  walk wall-clock  %10.2fs  (client compute outside spans: %.2fs)" seconds
+      (seconds -. total);
+    Buffer.contents buf
+
+let latency_breakdown spec =
+  say "@.Latency breakdown O1: Figure-12 search workload, virtual time by layer";
+  say "  (span self-time: time inside a layer's spans minus time in callees;";
+  say "   'keynote' is the compliance-checker alone, split out of 'policy')";
+  let first = latency_breakdown_once spec in
+  print_string first;
+  (* The whole stack is seeded and virtual-time: an identical second
+     run must reproduce the table byte-for-byte. *)
+  let second = latency_breakdown_once spec in
+  say "  deterministic across two runs: %s" (if String.equal first second then "yes" else "NO")
+
+(* ------------------------------------------------------------------ *)
+(* O2: trace dump — JSONL spans of a small traced workload             *)
+(* ------------------------------------------------------------------ *)
+
+let trace_dump () =
+  let b = Backend.discfs ~tracing:true () in
+  Search.build b { Search.dirs = 2; files_per_dir = 3; mean_file_size = 1024; seed = "trace-dump" };
+  match Backend.discfs_deploy b with
+  | None -> failwith "trace: discfs backend has no deployment"
+  | Some d ->
+    let trace = d.Discfs.Deploy.trace in
+    Trace.reset trace;
+    ignore (Search.run b);
+    List.iter (fun s -> print_endline (Trace.span_to_jsonl s)) (Trace.spans trace);
+    Printf.eprintf "# %d spans (%d dropped)\n" (List.length (Trace.spans trace))
+      (Trace.dropped trace)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: one Test.make per figure + micro-costs (A3)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -436,14 +526,21 @@ let () =
     if has "--quick" then { Search.default_spec with Search.dirs = 12; files_per_dir = 10 }
     else Search.default_spec
   in
-  say "DisCFS evaluation harness (virtual 2001-era testbed: 450 MHz server,";
-  say "100 Mbps Ethernet, Quantum Fireball-class disk; see DESIGN.md)";
-  say "";
+  if not (has "trace") then begin
+    say "DisCFS evaluation harness (virtual 2001-era testbed: 450 MHz server,";
+    say "100 Mbps Ethernet, Quantum Fireball-class disk; see DESIGN.md)";
+    say ""
+  end;
   if has "fault_sweep" then begin
     (* Standalone robustness sweep: bench/main.exe fault_sweep *)
     fault_sweep ();
     say "@.done."
   end
+  else if has "latency_breakdown" then begin
+    latency_breakdown spec;
+    say "@.done."
+  end
+  else if has "trace" then trace_dump ()
   else begin
     bonnie_figures size_mb;
     search_figure spec;

@@ -136,8 +136,8 @@ let cfs_ne ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) () =
 let deployments : (Clock.t * Discfs.Deploy.t) list ref = ref []
 
 let discfs ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) ?(cache_size = 128)
-    ?cipher ?fault ?retry () =
-  let d = Discfs.Deploy.make ~nblocks ~block_size ~ninodes ~cache_size ?fault () in
+    ?cipher ?fault ?retry ?tracing () =
+  let d = Discfs.Deploy.make ~nblocks ~block_size ~ninodes ~cache_size ?fault ?tracing () in
   let bob = Discfs.Deploy.new_identity d in
   let client = Discfs.Deploy.attach d ~identity:bob ?cipher ?retry () in
   (* The administrator grants the benchmark user full rights over the

@@ -42,6 +42,7 @@ val discfs :
   ?cipher:Ipsec.Sa.cipher ->
   ?fault:Simnet.Fault.t ->
   ?retry:Oncrpc.Rpc.retry ->
+  ?tracing:bool ->
   unit ->
   t
 (** Full DisCFS: IKE attach, ESP on every RPC, KeyNote authorization
@@ -49,7 +50,8 @@ val discfs :
     administrator-issued credential granting RWX over the volume,
     mirroring the paper's benchmark setup. [fault] makes the link and
     disk lossy (see {!Simnet.Fault}); [retry] tunes the at-least-once
-    RPC retransmission profile. *)
+    RPC retransmission profile; [tracing] turns on the per-layer
+    span/metrics instrumentation (see {!Discfs.Deploy.make}). *)
 
 val discfs_deploy : t -> Discfs.Deploy.t option
 (** The underlying testbed when the backend is DisCFS (for cache

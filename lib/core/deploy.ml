@@ -20,16 +20,25 @@ type t = {
   cache_size : int;
   hour : (unit -> int) option;
   strict_handles : bool option;
+  trace : Trace.t;
+  metrics : Trace.Metrics.t;
   mutable restarts : int;
 }
 
 let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
     ?(ninodes = 8192) ?(cache_size = 128) ?hour ?strict_handles ?(seed = "discfs-deploy")
-    ?fault () =
+    ?fault ?(tracing = false) () =
   let clock = Clock.create () in
   let stats = Stats.create () in
+  let metrics = Trace.Metrics.create () in
+  let trace =
+    if tracing then Trace.create ~metrics ~now:(fun () -> Clock.now clock) ()
+    else Trace.null
+  in
   let link = Link.create ~clock ~cost ~stats in
+  Link.set_trace link trace;
   let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  Ffs.Blockdev.set_trace dev trace;
   (match fault with
   | None -> ()
   | Some f ->
@@ -44,6 +53,7 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
       ~cache_size ?hour ?strict_handles ()
   in
   let rpc = Rpc.server ~clock ~cost ~stats in
+  Rpc.set_trace rpc trace;
   Server.attach_rpc server rpc;
   {
     clock;
@@ -59,6 +69,8 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
     cache_size;
     hour;
     strict_handles;
+    trace;
+    metrics;
     restarts = 0;
   }
 
@@ -92,6 +104,7 @@ let crash_and_restart t =
   | Ok _ -> ()
   | Error m -> failwith ("crash_and_restart: state reload failed: " ^ m));
   let rpc = Rpc.server ~clock:t.clock ~cost:t.cost ~stats:t.stats in
+  Rpc.set_trace rpc t.trace;
   Server.attach_rpc server rpc;
   t.server <- server;
   t.rpc <- rpc

@@ -23,6 +23,8 @@ type t = {
   cache_size : int;
   hour : (unit -> int) option;
   strict_handles : bool option;
+  trace : Trace.t;
+  metrics : Trace.Metrics.t;
   mutable restarts : int;
 }
 
@@ -36,12 +38,18 @@ val make :
   ?strict_handles:bool ->
   ?seed:string ->
   ?fault:Simnet.Fault.t ->
+  ?tracing:bool ->
   unit ->
   t
 (** Defaults: 2001-era cost model, 8 K blocks, 16 Ki blocks (128 MB
     volume), 8 Ki inodes, cache of 128, seed ["discfs-deploy"].
     Deterministic: same seed, same keys, same results. [fault]
-    attaches a fault injector to the link and the block device. *)
+    attaches a fault injector to the link and the block device.
+    [tracing] (default off) creates a {!Trace.t} keyed to the
+    deployment's virtual clock and threads it through every layer
+    (link, disk, RPC, ESP, NFS, KeyNote, policy cache), backed by
+    the [metrics] registry; with it off, [trace] is {!Trace.null}
+    and instrumentation is free. *)
 
 val new_identity : t -> Dcrypto.Dsa.private_key
 (** Generate a fresh user key pair from the testbed's DRBG. *)

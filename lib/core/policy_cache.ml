@@ -4,11 +4,21 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable trace : Trace.t;
 }
 
 let create ~size =
   if size < 0 then invalid_arg "Policy_cache.create: negative size";
-  { capacity = size; entries = Hashtbl.create (max 16 size); tick = 0; hits = 0; misses = 0 }
+  {
+    capacity = size;
+    entries = Hashtbl.create (max 16 size);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    trace = Trace.null;
+  }
+
+let set_trace t trace = t.trace <- trace
 
 let touch t = t.tick <- t.tick + 1; t.tick
 
@@ -17,9 +27,11 @@ let find t ~peer ~ino =
   | Some (level, stamp) ->
     t.hits <- t.hits + 1;
     stamp := touch t;
+    Trace.instant t.trace "policy.cache.hit";
     Some level
   | None ->
     t.misses <- t.misses + 1;
+    Trace.instant t.trace "policy.cache.miss";
     None
 
 let evict_lru t =

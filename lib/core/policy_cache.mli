@@ -9,6 +9,10 @@ type t
 val create : size:int -> t
 (** [size = 0] disables caching (every lookup misses). *)
 
+val set_trace : t -> Trace.t -> unit
+(** Adopt a tracer: each {!find} then records a ["policy.cache.hit"]
+    or ["policy.cache.miss"] instant span. *)
+
 val find : t -> peer:string -> ino:int -> int option
 (** Cached compliance level, refreshing LRU order. *)
 

@@ -68,6 +68,11 @@ val create :
     [strict_handles:true] the 4.4BSD-style inode+generation handle
     closes that hole. *)
 
+val trace : t -> Trace.t
+(** The deployment tracer (the filesystem's, see {!Ffs.Fs.trace});
+    policy checks, KeyNote evaluations, credential operations and
+    DisCFS procedures are recorded on it. *)
+
 val nfs : t -> Nfs.Server.t
 val session : t -> Keynote.Session.t
 val cache : t -> Policy_cache.t

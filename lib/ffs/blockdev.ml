@@ -13,6 +13,7 @@ type t = {
   store : (int, bytes) Hashtbl.t; (* lazily allocated blocks *)
   mutable head : int; (* last block under the head, for the seek model *)
   mutable fault : Simnet.Fault.t option;
+  mutable trace : Trace.t;
 }
 
 let create ~clock ~cost ~stats ~nblocks ~block_size =
@@ -26,9 +27,18 @@ let create ~clock ~cost ~stats ~nblocks ~block_size =
     store = Hashtbl.create 1024;
     head = 0;
     fault = None;
+    trace = Trace.null;
   }
 
-let set_fault t f = t.fault <- f
+let set_fault t f =
+  (match f with Some f -> Simnet.Fault.set_trace f t.trace | None -> ());
+  t.fault <- f
+
+let trace t = t.trace
+
+let set_trace t trace =
+  t.trace <- trace;
+  match t.fault with Some f -> Simnet.Fault.set_trace f trace | None -> ()
 
 let block_size t = t.block_size
 let nblocks t = t.nblocks
@@ -56,6 +66,7 @@ let disk_fault t =
 
 let read t i =
   check t i;
+  Trace.span t.trace "disk.read" @@ fun () ->
   charge t i;
   Stats.incr t.stats "disk.reads";
   let data =
@@ -77,6 +88,7 @@ let read t i =
 let write t i b =
   check t i;
   if Bytes.length b <> t.block_size then invalid_arg "Blockdev.write: bad block length";
+  Trace.span t.trace "disk.write" @@ fun () ->
   charge t i;
   Stats.incr t.stats "disk.writes";
   (match disk_fault t with

@@ -22,6 +22,14 @@ val nblocks : t -> int
 val clock : t -> Simnet.Clock.t
 val stats : t -> Simnet.Stats.t
 
+val trace : t -> Trace.t
+(** The tracer reads/writes report to ({!Trace.null} until
+    {!set_trace}); every timed I/O appears as a ["disk.read"] or
+    ["disk.write"] span. *)
+
+val set_trace : t -> Trace.t -> unit
+(** Adopt a tracer; also propagated to an attached fault injector. *)
+
 val set_fault : t -> Simnet.Fault.t option -> unit
 (** Attach a fault injector whose scripted disk faults
     ({!Simnet.Fault.script_disk}) fire on this device's reads and

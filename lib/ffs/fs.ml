@@ -49,6 +49,7 @@ type t = {
 let root t = t.root
 let clock t = Blockdev.clock t.dev
 let stats t = Blockdev.stats t.dev
+let trace t = Blockdev.trace t.dev
 let block_size t = Blockdev.block_size t.dev
 let now t = Clock.now (clock t)
 

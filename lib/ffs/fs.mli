@@ -37,6 +37,11 @@ val create : dev:Blockdev.t -> ninodes:int -> t
 val root : t -> int
 val clock : t -> Simnet.Clock.t
 val stats : t -> Simnet.Stats.t
+
+val trace : t -> Trace.t
+(** The underlying block device's tracer (see {!Blockdev.trace});
+    layers above the filesystem share it. *)
+
 val block_size : t -> int
 
 (** {1 Attributes and handles} *)

@@ -56,6 +56,7 @@ let tdes_tag_len = 12 (* HMAC-SHA1-96 *)
 let tdes_iv sa seq = String.sub (Dcrypto.Hmac.sha256 ~key:(Sa.key sa) ("iv" ^ be64 seq)) 0 8
 
 let seal sa payload =
+  Trace.span (Sa.trace sa) "esp.seal" @@ fun () ->
   charge sa (String.length payload + overhead);
   let seq = Sa.next_seq sa in
   let header = be32 (Sa.spi sa) ^ be64 seq in
@@ -71,6 +72,7 @@ let seal sa payload =
     header ^ ciphertext ^ tag
 
 let open_ sa packet =
+  Trace.span (Sa.trace sa) "esp.open" @@ fun () ->
   let n = String.length packet in
   if n < header_len + tdes_tag_len then raise (Esp_error "packet too short");
   charge sa n;

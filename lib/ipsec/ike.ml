@@ -45,6 +45,8 @@ let establish ~link ~drbg ~initiator ~responder ?(mitm = fun ~msg:_ s -> s)
   let clock = Link.clock link in
   let cost = Link.cost link in
   let stats = Link.stats link in
+  let trace = Link.trace link in
+  Trace.span trace "ike.handshake" @@ fun () ->
   (* One fixed CPU charge stands in for the exponentiations and
      signatures of a 2001-era IKE main mode. *)
   Clock.advance clock cost.Cost.ike_handshake;
@@ -92,7 +94,7 @@ let establish ~link ~drbg ~initiator ~responder ?(mitm = fun ~msg:_ s -> s)
   let k_i2r, k_r2i, spi_i2r, spi_r2i = keys z_i in
   let k_i2r', k_r2i', _, _ = keys z_r in
   if k_i2r <> k_i2r' || k_r2i <> k_r2i' then raise (Ike_failure "key agreement failed");
-  let sa key spi = Sa.create ~clock ~cost ~stats ~spi ~key ~cipher ?lifetime () in
+  let sa key spi = Sa.create ~clock ~cost ~stats ~spi ~key ~cipher ?lifetime ~trace () in
   let initiator_ep =
     { tx = sa k_i2r spi_i2r; rx = sa k_r2i spi_r2i; peer = principal r_pub_seen }
   in
@@ -111,6 +113,8 @@ let rekey ~link ~drbg ~client ~server () =
   let clock = Link.clock link in
   let cost = Link.cost link in
   let stats = Link.stats link in
+  let trace = Link.trace link in
+  Trace.span trace "ike.rekey" @@ fun () ->
   Clock.advance clock cost.Cost.ike_rekey;
   Simnet.Stats.incr stats "ike.rekeys";
   let nonce = Drbg.bytes drbg 16 in
@@ -121,7 +125,7 @@ let rekey ~link ~drbg ~client ~server () =
     let key = Dcrypto.Hmac.sha256 ~key:(Sa.key old_sa) ("rekey:" ^ label ^ ":" ^ nonce) in
     let spi = 1 + ((Char.code key.[0] lsl 8) lor Char.code key.[1]) in
     let lifetime = match Sa.lifetime old_sa with l when l = max_int -> None | l -> Some l in
-    Sa.create ~clock ~cost ~stats ~spi ~key ~cipher:(Sa.cipher old_sa) ?lifetime ()
+    Sa.create ~clock ~cost ~stats ~spi ~key ~cipher:(Sa.cipher old_sa) ?lifetime ~trace ()
   in
   (* client.tx and server.rx share a key (and likewise client.rx /
      server.tx), so deriving from each of the client's SAs yields the

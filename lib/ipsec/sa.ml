@@ -8,6 +8,7 @@ type t = {
   cost : Simnet.Cost.t;
   stats : Simnet.Stats.t;
   lifetime : int;
+  trace : Trace.t;
   mutable seq_out : int;
   mutable window_top : int; (* highest sequence number seen *)
   mutable window_bits : int; (* bitmask of the 63 numbers below it *)
@@ -15,10 +16,23 @@ type t = {
 
 let window_size = 64
 
-let create ~clock ~cost ~stats ~spi ~key ?(cipher = Chacha20_poly1305) ?(lifetime = max_int) () =
+let create ~clock ~cost ~stats ~spi ~key ?(cipher = Chacha20_poly1305)
+    ?(lifetime = max_int) ?(trace = Trace.null) () =
   if String.length key <> 32 then invalid_arg "Sa.create: key must be 32 bytes";
   if lifetime <= 0 then invalid_arg "Sa.create: lifetime must be positive";
-  { spi; key; cipher; clock; cost; stats; lifetime; seq_out = 0; window_top = 0; window_bits = 0 }
+  {
+    spi;
+    key;
+    cipher;
+    clock;
+    cost;
+    stats;
+    lifetime;
+    trace;
+    seq_out = 0;
+    window_top = 0;
+    window_bits = 0;
+  }
 
 let spi t = t.spi
 let key t = t.key
@@ -26,6 +40,7 @@ let cipher t = t.cipher
 let clock t = t.clock
 let cost t = t.cost
 let stats t = t.stats
+let trace t = t.trace
 let lifetime t = t.lifetime
 let seq_out t = t.seq_out
 let soft_expired t = t.seq_out >= t.lifetime

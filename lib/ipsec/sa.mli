@@ -16,6 +16,7 @@ val create :
   key:string ->
   ?cipher:cipher ->
   ?lifetime:int ->
+  ?trace:Trace.t ->
   unit ->
   t
 (** [key] must be 32 bytes; [cipher] defaults to
@@ -30,6 +31,11 @@ val cipher : t -> cipher
 val clock : t -> Simnet.Clock.t
 val cost : t -> Simnet.Cost.t
 val stats : t -> Simnet.Stats.t
+
+val trace : t -> Trace.t
+(** The tracer ESP seal/open operations under this SA report to
+    ({!Trace.null} by default); IKE passes the link's tracer in. *)
+
 val lifetime : t -> int
 
 val seq_out : t -> int

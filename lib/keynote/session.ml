@@ -2,11 +2,12 @@ type t = {
   values : string list;
   mutable policy : Assertion.t list;
   mutable credentials : Assertion.t list;
+  trace : Trace.t;
 }
 
-let create ~values ?(policy = []) () =
+let create ~values ?(policy = []) ?(trace = Trace.null) () =
   if values = [] then invalid_arg "Session.create: empty value set";
-  { values; policy; credentials = [] }
+  { values; policy; credentials = []; trace }
 
 let add_policy t a = t.policy <- t.policy @ [ a ]
 
@@ -37,5 +38,8 @@ let values t = t.values
 
 let query t ~requesters ~attributes =
   (* Credentials were signature-checked when admitted. *)
-  Compliance.check ~assume_verified:true ~policy:t.policy ~credentials:t.credentials
-    { Compliance.requesters; attributes; values = t.values }
+  Trace.span t.trace "keynote.compliance"
+    ~attrs:[ ("credentials", string_of_int (List.length t.credentials)) ]
+    (fun () ->
+      Compliance.check ~assume_verified:true ~policy:t.policy ~credentials:t.credentials
+        { Compliance.requesters; attributes; values = t.values })

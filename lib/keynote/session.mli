@@ -4,9 +4,12 @@
 
 type t
 
-val create : values:string list -> ?policy:Assertion.t list -> unit -> t
+val create :
+  values:string list -> ?policy:Assertion.t list -> ?trace:Trace.t -> unit -> t
 (** [values] is the ordered compliance-value set, lowest first, e.g.
-    [["false"; "X"; "W"; "WX"; "R"; "RX"; "RW"; "RWX"]]. *)
+    [["false"; "X"; "W"; "WX"; "R"; "RX"; "RW"; "RWX"]]. Each
+    {!query} is recorded on [trace] as a ["keynote.compliance"]
+    span. *)
 
 val add_policy : t -> Assertion.t -> unit
 

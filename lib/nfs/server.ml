@@ -113,6 +113,7 @@ let reply_status ?body status =
   Ok (Xdr.Enc.to_string e)
 
 let run t ~conn ~fh ~op f =
+  Trace.span (Ffs.Fs.trace t.fs) ("nfs." ^ op_to_string op) @@ fun () ->
   match
     check_fh t fh;
     t.hooks.authorize ~conn ~fh ~op
@@ -301,6 +302,7 @@ let handle_mount t ~conn ~proc ~args =
   let d = Xdr.Dec.of_string args in
   if proc = 0 then Ok ""
   else if proc = Proto.mountproc_mnt then begin
+    Trace.span (Ffs.Fs.trace t.fs) "nfs.mount" @@ fun () ->
     let path = Xdr.Dec.string d in
     match Ffs.Fs.resolve t.fs path with
     | ino ->

@@ -17,16 +17,27 @@ type handler = conn:conn_info -> proc:int -> args:string -> (string, fault) resu
    non-idempotent call (CREATE, REMOVE, RENAME, WRITE) may arrive
    twice; the server replays the recorded reply instead of
    re-executing. Keyed by (peer, xid, proc) as the paper's NFSv2/UDP
-   substrate does by (client address, xid). Bounded FIFO. *)
-let drc_capacity = 512
+   substrate does by (client address, xid). Bounded LRU: a cache hit
+   refreshes the entry, so under sustained retransmission the
+   still-hot entries survive and cold ones are evicted first. *)
+let default_drc_capacity = 512
+
+type drc_entry = { reply : string; mutable stamp : int }
 
 type server = {
   clock : Clock.t;
   cost : Cost.t;
   stats : Stats.t;
   programs : (int * int, handler) Hashtbl.t;
-  drc : (string * int * int, string) Hashtbl.t;
-  drc_order : (string * int * int) Queue.t;
+  drc : (string * int * int, drc_entry) Hashtbl.t;
+  (* Recency queue with lazy deletion: each use pushes (key, stamp);
+     an entry is live only for the queue element whose stamp matches,
+     so eviction pops until it finds a current element — amortized
+     O(1), no full scans. *)
+  drc_order : ((string * int * int) * int) Queue.t;
+  mutable drc_tick : int;
+  mutable drc_capacity : int;
+  mutable trace : Trace.t;
   mutable dead : bool;
 }
 
@@ -38,10 +49,36 @@ let server ~clock ~cost ~stats =
     programs = Hashtbl.create 8;
     drc = Hashtbl.create 64;
     drc_order = Queue.create ();
+    drc_tick = 0;
+    drc_capacity = default_drc_capacity;
+    trace = Trace.null;
     dead = false;
   }
 
 let register t ~prog ~vers handler = Hashtbl.replace t.programs (prog, vers) handler
+
+let trace t = t.trace
+let set_trace t trace = t.trace <- trace
+
+let drc_evict_to t cap =
+  while Hashtbl.length t.drc > cap && not (Queue.is_empty t.drc_order) do
+    let key, stamp = Queue.pop t.drc_order in
+    match Hashtbl.find_opt t.drc key with
+    | Some e when e.stamp = stamp ->
+      Stats.incr t.stats "rpc.drc_evictions";
+      Hashtbl.remove t.drc key
+    | _ -> () (* stale queue element: the entry was used again later *)
+  done
+
+let set_drc_capacity t cap =
+  if cap < 0 then invalid_arg "Rpc.set_drc_capacity: negative capacity";
+  t.drc_capacity <- cap;
+  drc_evict_to t cap
+
+let drc_touch t key e =
+  t.drc_tick <- t.drc_tick + 1;
+  e.stamp <- t.drc_tick;
+  Queue.push (key, t.drc_tick) t.drc_order
 
 let shutdown t = t.dead <- true
 let is_dead t = t.dead
@@ -199,11 +236,11 @@ let decode_reply data =
   | n -> (xid, Error (System_err (Printf.sprintf "accept_stat %d" n)))
 
 let drc_put srv key reply =
-  if not (Hashtbl.mem srv.drc key) then begin
-    Hashtbl.replace srv.drc key reply;
-    Queue.push key srv.drc_order;
-    if Queue.length srv.drc_order > drc_capacity then
-      Hashtbl.remove srv.drc (Queue.pop srv.drc_order)
+  if srv.drc_capacity > 0 && not (Hashtbl.mem srv.drc key) then begin
+    let e = { reply; stamp = 0 } in
+    Hashtbl.replace srv.drc key e;
+    drc_touch srv key e;
+    drc_evict_to srv srv.drc_capacity
   end
 
 (* Returns [None] when the server is down (the datagram vanishes and
@@ -213,19 +250,26 @@ let dispatch srv ~conn data =
     Stats.incr srv.stats "rpc.dropped_dead";
     None
   end
-  else begin
+  else
+    Trace.span srv.trace "rpc.dispatch" @@ fun () ->
     let c = srv.cost in
     Stats.incr srv.stats "rpc.calls";
-    Clock.advance srv.clock
-      (c.Cost.rpc_overhead +. (float_of_int (String.length data) *. c.Cost.rpc_per_byte));
-    match decode_call data with
+    match
+      Trace.span srv.trace "xdr.unmarshal" (fun () ->
+          Clock.advance srv.clock
+            (c.Cost.rpc_overhead
+            +. (float_of_int (String.length data) *. c.Cost.rpc_per_byte));
+          decode_call data)
+    with
     | exception Xdr.Decode_error _ -> Some (encode_reply ~xid:0 (Error Garbage_args))
     | xid, prog, vers, proc, uid, args ->
       let key = (conn.peer, xid, proc) in
       (match Hashtbl.find_opt srv.drc key with
-      | Some cached ->
+      | Some e ->
         Stats.incr srv.stats "rpc.drc_hits";
-        Some cached
+        Trace.instant srv.trace "rpc.drc_hit";
+        drc_touch srv key e;
+        Some e.reply
       | None ->
         let outcome =
           match Hashtbl.find_opt srv.programs (prog, vers) with
@@ -235,10 +279,11 @@ let dispatch srv ~conn data =
             try handler ~conn ~proc ~args
             with Xdr.Decode_error _ -> Error Garbage_args)
         in
-        let reply = encode_reply ~xid outcome in
+        let reply =
+          Trace.span srv.trace "xdr.marshal" (fun () -> encode_reply ~xid outcome)
+        in
         drc_put srv key reply;
         Some reply)
-  end
 
 (* Flows for Link.send reorder hold slots: requests and replies
    travel in opposite directions. *)
@@ -246,19 +291,21 @@ let flow_req = 0
 let flow_rep = 1
 
 let call t ~prog ~vers ~proc args =
+  let tr = Link.trace t.link in
+  Trace.span tr "rpc.call"
+    ~attrs:[ ("prog", string_of_int prog); ("proc", string_of_int proc) ]
+  @@ fun () ->
   t.before_call ();
   t.xid <- t.xid + 1;
   let xid = t.xid in
   let stats = Link.stats t.link in
-  let request = encode_call ~xid ~prog ~vers ~proc ~uid:t.conn.uid args in
-  let rec attempt n timeout =
-    if n > t.retry.max_attempts then begin
-      t.last_timeout <- Some (prog, vers, proc, args);
-      raise
-        (Rpc_timeout
-           (Printf.sprintf "no reply after %d attempts (prog %d, proc %d)" t.retry.max_attempts
-              prog proc))
-    end;
+  let request =
+    Trace.span tr "xdr.marshal" (fun () ->
+        encode_call ~xid ~prog ~vers ~proc ~uid:t.conn.uid args)
+  in
+  (* One transmission round: seal, send, server-side dispatch, collect
+     the first reply that opens, decodes and matches our xid. *)
+  let one_round n =
     if n > 1 then Stats.incr stats "rpc.retransmits";
     (* Re-seal on every attempt: a retransmission is a fresh datagram
        with a fresh ESP sequence number, never a replayed packet. *)
@@ -282,24 +329,39 @@ let call t ~prog ~vers ~proc args =
     in
     (* Client side: take the first reply that opens, decodes and
        matches our xid; drop everything else. *)
-    let result =
-      List.fold_left
-        (fun acc pkt ->
-          match acc with
-          | Some _ -> acc
-          | None -> (
-            match decode_reply (t.channel.client_open pkt) with
-            | exception Rpc_error f -> Some (Error f) (* MSG_DENIED: a real reply *)
-            | exception _ ->
-              Stats.incr stats "rpc.client_rx_drops";
+    List.fold_left
+      (fun acc pkt ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match
+            let plain = t.channel.client_open pkt in
+            Trace.span tr "xdr.unmarshal" (fun () -> decode_reply plain)
+          with
+          | exception Rpc_error f -> Some (Error f) (* MSG_DENIED: a real reply *)
+          | exception _ ->
+            Stats.incr stats "rpc.client_rx_drops";
+            None
+          | rxid, outcome ->
+            if rxid = xid then Some outcome
+            else begin
+              Stats.incr stats "rpc.stale_replies";
               None
-            | rxid, outcome ->
-              if rxid = xid then Some outcome
-              else begin
-                Stats.incr stats "rpc.stale_replies";
-                None
-              end))
-        None arrived_replies
+            end))
+      None arrived_replies
+  in
+  let rec attempt n timeout =
+    if n > t.retry.max_attempts then begin
+      t.last_timeout <- Some (prog, vers, proc, args);
+      raise
+        (Rpc_timeout
+           (Printf.sprintf "no reply after %d attempts (prog %d, proc %d)" t.retry.max_attempts
+              prog proc))
+    end;
+    let result =
+      Trace.span tr "rpc.attempt"
+        ~attrs:[ ("n", string_of_int n) ]
+        (fun () -> one_round n)
     in
     match result with
     | Some (Ok results) ->
@@ -312,8 +374,9 @@ let call t ~prog ~vers ~proc args =
       (* Nothing usable came back: wait out the timer (virtual time,
          with jitter so retransmissions don't synchronize) and try
          again with the timeout doubled. *)
-      let jitter = 1.0 +. (t.retry.jitter *. ((2.0 *. Fault.Rng.float t.rng) -. 1.0)) in
-      Clock.advance (Link.clock t.link) (timeout *. jitter);
+      Trace.span tr "rpc.backoff" (fun () ->
+          let jitter = 1.0 +. (t.retry.jitter *. ((2.0 *. Fault.Rng.float t.rng) -. 1.0)) in
+          Clock.advance (Link.clock t.link) (timeout *. jitter));
       attempt (n + 1) (timeout *. t.retry.backoff)
   in
   attempt 1 t.retry.base_timeout

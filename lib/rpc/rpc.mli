@@ -40,6 +40,20 @@ type server
 val server : clock:Simnet.Clock.t -> cost:Simnet.Cost.t -> stats:Simnet.Stats.t -> server
 val register : server -> prog:int -> vers:int -> handler -> unit
 
+val trace : server -> Trace.t
+val set_trace : server -> Trace.t -> unit
+(** Adopt a tracer: each dispatched datagram then appears as a
+    ["rpc.dispatch"] span with ["xdr.unmarshal"]/["xdr.marshal"]
+    children and ["rpc.drc_hit"] instants. Client-side spans
+    (["rpc.call"], ["rpc.attempt"], ["rpc.backoff"]) follow the
+    link's tracer ({!Simnet.Link.set_trace}). *)
+
+val set_drc_capacity : server -> int -> unit
+(** Bound the duplicate-request cache (default 512 entries),
+    evicting least-recently-used entries immediately if the new
+    capacity is smaller; 0 disables the cache. Evictions are counted
+    under ["rpc.drc_evictions"]. *)
+
 val shutdown : server -> unit
 (** Simulate a server crash: every datagram sent to this server from
     now on vanishes (counted under ["rpc.dropped_dead"]), so clients
@@ -117,3 +131,23 @@ val calls_made : server -> int
 val drc_hits : server -> int
 (** Retransmitted requests answered from the duplicate-request cache
     instead of being re-executed. *)
+
+(** {1 Wire level}
+
+    The raw RFC 5531 framing, exposed so tests and fuzzers can build
+    and dissect datagrams without a client. *)
+
+val encode_call :
+  xid:int -> prog:int -> vers:int -> proc:int -> uid:int -> string -> string
+(** Frame a CALL message; the argument string is the pre-marshalled
+    procedure arguments. *)
+
+val decode_reply : string -> int * (string, fault) result
+(** Parse a REPLY message into (xid, outcome). Raises
+    [Xdr.Decode_error] on garbage and {!Rpc_error} on MSG_DENIED. *)
+
+val dispatch : server -> conn:conn_info -> string -> string option
+(** Feed one raw datagram to the server exactly as the link would:
+    charges dispatch cost, consults the duplicate-request cache, runs
+    the handler and returns the framed reply ([None] when the server
+    is {!shutdown}). *)

@@ -49,13 +49,15 @@ type t = {
   mutable net : net;
   mutable disk_script : (int * disk_fault) list; (* disk op index -> fault *)
   mutable disk_ops : int;
+  mutable trace : Trace.t;
 }
 
 let create ?(net = no_net) ?(seed = "fault") () =
-  { rng = Rng.create ~seed; net; disk_script = []; disk_ops = 0 }
+  { rng = Rng.create ~seed; net; disk_script = []; disk_ops = 0; trace = Trace.null }
 
 let rng t = t.rng
 let set_net t net = t.net <- net
+let set_trace t trace = t.trace <- trace
 
 let net_decide t =
   let n = t.net in
@@ -90,6 +92,13 @@ let disk_decide t =
   | None -> None
   | Some f ->
     t.disk_script <- List.filter (fun (i, _) -> i <> op) t.disk_script;
+    let kind =
+      match f with
+      | Fail_read -> "fail_read"
+      | Fail_write -> "fail_write"
+      | Corrupt_read -> "corrupt_read"
+    in
+    Trace.instant t.trace ~attrs:[ ("op", string_of_int op) ] ("fault.disk." ^ kind);
     Some f
 
 let disk_ops t = t.disk_ops

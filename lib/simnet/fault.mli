@@ -40,6 +40,11 @@ val create : ?net:net -> ?seed:string -> unit -> t
 val rng : t -> Rng.t
 val set_net : t -> net -> unit
 
+val set_trace : t -> Trace.t -> unit
+(** Adopt a tracer: injected disk faults are then recorded as
+    [fault.disk.*] instant spans. {!Link.set_fault} and
+    [Blockdev.set_fault] call this automatically. *)
+
 val net_decide : t -> net_action
 (** Roll the fate of one packet. *)
 

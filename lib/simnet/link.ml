@@ -2,27 +2,40 @@ type t = {
   clock : Clock.t;
   cost : Cost.t;
   stats : Stats.t;
+  mutable trace : Trace.t;
   mutable fault : Fault.t option;
   held : (int, string) Hashtbl.t; (* per-flow reorder hold slot *)
 }
 
-let create ~clock ~cost ~stats = { clock; cost; stats; fault = None; held = Hashtbl.create 4 }
+let create ~clock ~cost ~stats =
+  { clock; cost; stats; trace = Trace.null; fault = None; held = Hashtbl.create 4 }
+
 let clock t = t.clock
 let cost t = t.cost
 let stats t = t.stats
-let set_fault t f = t.fault <- f
+let trace t = t.trace
+
+let set_trace t trace =
+  t.trace <- trace;
+  match t.fault with Some f -> Fault.set_trace f trace | None -> ()
+
+let set_fault t f =
+  (match f with Some f -> Fault.set_trace f t.trace | None -> ());
+  t.fault <- f
+
 let fault t = t.fault
 
 let transmit t nbytes =
   if nbytes < 0 then invalid_arg "Link.transmit: negative size";
-  let c = t.cost in
-  let serialization =
-    if c.Cost.net_bandwidth_bps = infinity then 0.0
-    else float_of_int nbytes /. c.Cost.net_bandwidth_bps
-  in
-  Clock.advance t.clock (c.Cost.net_latency +. serialization);
-  Stats.add t.stats "link.bytes" nbytes;
-  Stats.incr t.stats "link.messages"
+  Trace.span t.trace "net.transit" (fun () ->
+      let c = t.cost in
+      let serialization =
+        if c.Cost.net_bandwidth_bps = infinity then 0.0
+        else float_of_int nbytes /. c.Cost.net_bandwidth_bps
+      in
+      Clock.advance t.clock (c.Cost.net_latency +. serialization);
+      Stats.add t.stats "link.bytes" nbytes;
+      Stats.incr t.stats "link.messages")
 
 let send t ?(flow = 0) payload =
   transmit t (String.length payload);
@@ -42,17 +55,21 @@ let send t ?(flow = 0) payload =
     | Fault.Deliver -> release [ payload ]
     | Fault.Drop ->
       Stats.incr t.stats "link.drops";
+      Trace.instant t.trace "fault.net.drop";
       release []
     | Fault.Duplicate ->
       Stats.incr t.stats "link.dups";
+      Trace.instant t.trace "fault.net.dup";
       release [ payload; payload ]
     | Fault.Corrupt ->
       Stats.incr t.stats "link.corruptions";
+      Trace.instant t.trace "fault.net.corrupt";
       release [ Fault.corrupt_bytes f payload ]
     | Fault.Reorder ->
       if Hashtbl.mem t.held flow then release [ payload ]
       else begin
         Stats.incr t.stats "link.reorders";
+        Trace.instant t.trace "fault.net.reorder";
         Hashtbl.replace t.held flow payload;
         []
       end)

@@ -11,9 +11,19 @@ val clock : t -> Clock.t
 val cost : t -> Cost.t
 val stats : t -> Stats.t
 
+val trace : t -> Trace.t
+(** The tracer this link reports to ({!Trace.null} until
+    {!set_trace}). Layers above the link (RPC, ESP, IKE) pick their
+    tracer up from here so one deployment shares one span tree. *)
+
+val set_trace : t -> Trace.t -> unit
+(** Adopt a tracer; also propagated to an attached fault injector. *)
+
 val set_fault : t -> Fault.t option -> unit
 (** Attach (or remove) a fault injector. Without one, {!send}
-    delivers exactly what was sent. *)
+    delivers exactly what was sent. The injector inherits this
+    link's tracer and records [fault.*] instant spans for each
+    injected fault. *)
 
 val fault : t -> Fault.t option
 

@@ -1,0 +1,67 @@
+(** Metrics registry: counters, gauges and fixed-bucket histograms.
+
+    Zero dependencies; all state is explicit so deployments can own
+    independent registries.  Histogram bucket boundaries are fixed at
+    creation and deterministic, which makes aggregated output
+    byte-reproducible across runs. *)
+
+type t
+(** A registry of named counters, gauges and histograms. *)
+
+type histogram
+(** Fixed-bucket histogram: [n] strictly-increasing upper bounds plus
+    an overflow bucket, a running count and a running sum. *)
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Drop every metric in the registry. *)
+
+(** {1 Counters} *)
+
+val incr : t -> ?by:int -> string -> unit
+val counter : t -> string -> int
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float option
+val gauges : t -> (string * float) list
+(** Sorted by name. *)
+
+(** {1 Histograms} *)
+
+val default_buckets : float array
+(** 1-2-5 series from 1 microsecond to 100 seconds (25 bounds),
+    suitable for virtual-time latencies. *)
+
+val histogram : t -> ?buckets:float array -> string -> histogram
+(** Get or create.  [buckets] must be non-empty, finite and strictly
+    increasing or [Invalid_argument] is raised; it is ignored when the
+    histogram already exists. *)
+
+val observe : histogram -> float -> unit
+(** Record a value into the first bucket whose bound is [>=] it (the
+    overflow bucket if none is). *)
+
+val bounds : histogram -> float array
+val bucket_counts : histogram -> int array
+(** Length [Array.length (bounds h) + 1]; last cell is overflow. *)
+
+val cumulative : histogram -> int array
+val count : histogram -> int
+val sum : histogram -> float
+
+val merge : histogram -> histogram -> histogram
+(** Fresh histogram combining both operands.  Raises
+    [Invalid_argument] if the bucket bounds differ. *)
+
+val quantile : histogram -> float -> float
+(** Upper bound of the bucket containing quantile [q] (clamped to
+    [0,1]); [infinity] when it falls in the overflow bucket, [0.] on
+    an empty histogram. *)
+
+val histograms : t -> (string * histogram) list
+(** Sorted by name. *)

@@ -72,6 +72,48 @@ let test_hmac_vectors () =
     "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
     (Hmac.sha256 ~key:long_key "Test Using Larger Than Block-Size Key - Hash Key First")
 
+let test_hmac_kat_full () =
+  (* The complete remaining RFC 2202 (HMAC-SHA1) and RFC 4231
+     (HMAC-SHA256) known-answer sets: combined-key cases, truncation
+     inputs, and the long-key/long-data cases. *)
+  let k_aa20 = String.make 20 '\xaa' in
+  let d_dd50 = String.make 50 '\xdd' in
+  check_hex "hmac-sha1 rfc2202-3" "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+    (Hmac.sha1 ~key:k_aa20 d_dd50);
+  check_hex "hmac-sha256 rfc4231-2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?");
+  check_hex "hmac-sha256 rfc4231-3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.sha256 ~key:k_aa20 d_dd50);
+  let k_incr = String.init 25 (fun i -> Char.chr (i + 1)) in
+  let d_cd50 = String.make 50 '\xcd' in
+  check_hex "hmac-sha1 rfc2202-4" "4c9007f4026250c6bc8414f9bf50c86c2d7235da"
+    (Hmac.sha1 ~key:k_incr d_cd50);
+  check_hex "hmac-sha256 rfc4231-4"
+    "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+    (Hmac.sha256 ~key:k_incr d_cd50);
+  (* RFC 4231 case 5 specifies a 128-bit truncated output; we verify
+     the prefix of the full tag. *)
+  let k_0c20 = String.make 20 '\x0c' in
+  check_hex "hmac-sha1 rfc2202-5" "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04"
+    (Hmac.sha1 ~key:k_0c20 "Test With Truncation");
+  check_hex "hmac-sha256 rfc4231-5 (truncated)" "a3b6167473100ee06e0c796c2955552b"
+    (String.sub (Hmac.sha256 ~key:k_0c20 "Test With Truncation") 0 16);
+  let k_aa80 = String.make 80 '\xaa' in
+  check_hex "hmac-sha1 rfc2202-6" "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+    (Hmac.sha1 ~key:k_aa80 "Test Using Larger Than Block-Size Key - Hash Key First");
+  check_hex "hmac-sha1 rfc2202-7" "e8e99d0f45237d786d6bbaa7965c7808bbff1a91"
+    (Hmac.sha1 ~key:k_aa80
+       "Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data");
+  let k_aa131 = String.make 131 '\xaa' in
+  check_hex "hmac-sha256 rfc4231-7"
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+    (Hmac.sha256 ~key:k_aa131
+       "This is a test using a larger than block-size key and a larger than \
+        block-size data. The key needs to be hashed before being used by the \
+        HMAC algorithm.")
+
 let test_hmac_equal () =
   Alcotest.(check bool) "equal" true (Hmac.equal "abcd" "abcd");
   Alcotest.(check bool) "different" false (Hmac.equal "abcd" "abce");
@@ -109,6 +151,46 @@ let test_poly1305 () =
   let key = Hexcodec.decode "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b" in
   let tag = Poly1305.mac ~key "Cryptographic Forum Research Group" in
   check_hex "tag" "a8061dc1305136c6c22b8baf0c0127a9" tag
+
+let test_poly1305_key_gen () =
+  (* RFC 8439 section 2.6.2: the one-time Poly1305 key is the first
+     32 bytes of the ChaCha20 block at counter 0. *)
+  let key = Hexcodec.decode "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f" in
+  let nonce = Hexcodec.decode "000000000001020304050607" in
+  check_hex "one-time key"
+    "8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646"
+    (String.sub (Chacha20.block ~key ~nonce ~counter:0) 0 32)
+
+let test_chacha20_poly1305_aead () =
+  (* RFC 8439 section 2.8.2: the full AEAD known answer, composed from
+     the primitives exactly as the RFC specifies — one-time key from
+     block 0, ciphertext from counter 1, tag over
+     aad | pad16 | ct | pad16 | le64(|aad|) | le64(|ct|). *)
+  let key = Hexcodec.decode "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f" in
+  let nonce = Hexcodec.decode "070000004041424344454647" in
+  let aad = Hexcodec.decode "50515253c0c1c2c3c4c5c6c7" in
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you o\
+     nly one tip for the future, sunscreen would be it."
+  in
+  let ct = Chacha20.crypt ~key ~nonce ~counter:1 plaintext in
+  check_hex "aead ciphertext"
+    ("d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+    ^ "3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"
+    ^ "92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"
+    ^ "3ff4def08e4b7a9de576d26586cec64b6116")
+    ct;
+  let otk = String.sub (Chacha20.block ~key ~nonce ~counter:0) 0 32 in
+  let pad16 s = String.make ((16 - String.length s mod 16) mod 16) '\x00' in
+  let le64 n =
+    String.init 8 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+  in
+  let mac_data =
+    aad ^ pad16 aad ^ ct ^ pad16 ct
+    ^ le64 (String.length aad)
+    ^ le64 (String.length ct)
+  in
+  check_hex "aead tag" "1ae10b594f09e26a7e902ecbd0600691" (Poly1305.mac ~key:otk mac_data)
 
 let test_drbg_determinism () =
   let a = Drbg.create ~seed:"seed" in
@@ -274,10 +356,13 @@ let suite =
     Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
     Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
     Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors;
+    Alcotest.test_case "hmac full rfc2202/4231 kat" `Quick test_hmac_kat_full;
     Alcotest.test_case "hmac constant-time equal" `Quick test_hmac_equal;
     Alcotest.test_case "chacha20 block vector" `Quick test_chacha20_block;
     Alcotest.test_case "chacha20 encrypt vector" `Quick test_chacha20_encrypt;
     Alcotest.test_case "poly1305 vector" `Quick test_poly1305;
+    Alcotest.test_case "poly1305 key generation" `Quick test_poly1305_key_gen;
+    Alcotest.test_case "chacha20-poly1305 aead rfc8439" `Quick test_chacha20_poly1305_aead;
     Alcotest.test_case "drbg determinism" `Quick test_drbg_determinism;
     Alcotest.test_case "drbg fork" `Quick test_drbg_fork;
     Alcotest.test_case "drbg bounds" `Quick test_drbg_bounds;

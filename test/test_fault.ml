@@ -182,6 +182,61 @@ let prop_drc_idempotent =
       let hits = Rpc.drc_hits d.Cfs.Cfs_ne.rpc in
       clean = faulty && hits <= dups)
 
+(* --- DRC eviction under capacity pressure ----------------------------- *)
+
+let test_drc_lru_eviction () =
+  (* Drive the server at the wire level with hand-picked xids so we
+     control exactly which DRC entries exist. Capacity 4; a hit must
+     refresh an entry's LRU position, and an evicted entry must be
+     re-executed (at-least-once semantics) with an identical reply. *)
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let srv = Rpc.server ~clock ~cost:Simnet.Cost.default ~stats in
+  Rpc.set_drc_capacity srv 4;
+  let executions = Hashtbl.create 8 in
+  Rpc.register srv ~prog:7 ~vers:1 (fun ~conn:_ ~proc ~args ->
+      let n = try Hashtbl.find executions proc with Not_found -> 0 in
+      Hashtbl.replace executions proc (n + 1);
+      Ok (Printf.sprintf "reply-%d:%s" proc args));
+  let conn = { Rpc.peer = "client-1"; uid = 0 } in
+  let call xid =
+    match Rpc.dispatch srv ~conn (Rpc.encode_call ~xid ~prog:7 ~vers:1 ~proc:xid ~uid:0 "x") with
+    | None -> Alcotest.fail "server dropped a well-formed call"
+    | Some datagram ->
+      let rxid, result = Rpc.decode_reply datagram in
+      Alcotest.(check int) "xid echoed" xid rxid;
+      (match result with
+      | Ok body -> body
+      | Error _ -> Alcotest.fail "unexpected RPC-level error")
+  in
+  let execs proc = try Hashtbl.find executions proc with Not_found -> 0 in
+  (* Fill the cache: A=1 B=2 C=3 D=4 (LRU order A..D). *)
+  let reply_a = call 1 in
+  List.iter (fun xid -> ignore (call xid)) [ 2; 3; 4 ];
+  Alcotest.(check int) "no eviction at capacity" 0 (Stats.get stats "rpc.drc_evictions");
+  (* Replay A: answered from cache, and A moves to most-recently-used. *)
+  Alcotest.(check string) "cached reply is byte-identical" reply_a (call 1);
+  Alcotest.(check int) "hit did not re-execute" 1 (execs 1);
+  Alcotest.(check int) "one DRC hit" 1 (Rpc.drc_hits srv);
+  (* E pushes the cache past capacity: B (now least recent) goes, not A. *)
+  ignore (call 5);
+  Alcotest.(check int) "one eviction" 1 (Stats.get stats "rpc.drc_evictions");
+  Alcotest.(check string) "A survived (refreshed by the hit)" reply_a (call 1);
+  Alcotest.(check int) "A still executed once" 1 (execs 1);
+  (* B was evicted: its retransmission re-executes, reply unchanged. *)
+  let reply_b = call 2 in
+  Alcotest.(check int) "evicted entry re-executed" 2 (execs 2);
+  Alcotest.(check string) "re-execution gives the same reply" "reply-2:x" reply_b;
+  (* Shrinking capacity evicts immediately, oldest first. *)
+  Rpc.set_drc_capacity srv 1;
+  Alcotest.(check int) "shrink evicts down to capacity" 5
+    (Stats.get stats "rpc.drc_evictions");
+  (* Capacity 0 disables caching entirely: every retransmit re-executes. *)
+  Rpc.set_drc_capacity srv 0;
+  ignore (call 6);
+  ignore (call 6);
+  Alcotest.(check int) "no caching at capacity 0" 2 (execs 6)
+
 (* --- ESP boundary: corrupted packets are dropped, not fatal ----------- *)
 
 let test_esp_corruption_dropped () =
@@ -359,6 +414,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_replay_window_model;
     Alcotest.test_case "drc dedups duplicated requests" `Quick test_drc_dedups_duplicates;
     QCheck_alcotest.to_alcotest prop_drc_idempotent;
+    Alcotest.test_case "drc lru eviction" `Quick test_drc_lru_eviction;
     Alcotest.test_case "esp corruption dropped at boundary" `Quick test_esp_corruption_dropped;
     Alcotest.test_case "ike abbreviated rekey" `Quick test_ike_rekey;
     Alcotest.test_case "client auto-rekey at soft lifetime" `Quick test_client_auto_rekey;

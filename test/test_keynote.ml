@@ -246,6 +246,82 @@ let test_assertion_parse_errors () =
       "\tcontinuation first\n";
     ]
 
+(* RFC 2704-shaped conformance set: the assertion-document grammar of
+   §4 — field-name case-insensitivity, continuation-line folding,
+   blank-line tolerance, Local-Constants substitution in Authorizer,
+   empty optional fields, signature coverage, and exact diagnostics. *)
+let test_rfc2704_conformance () =
+  (* §4.1: field names are case-insensitive; unknown fields are carried
+     without breaking the parse. *)
+  let a =
+    Assertion.parse
+      "KEYNOTE-VERSION: 2\n\
+       authorizer: \"dsa-hex:aa\"\n\
+       LiCeNsEeS: \"dsa-hex:bb\"\n\
+       conditions: true -> \"R\";\n"
+  in
+  Alcotest.(check (option string)) "version" (Some "2") a.Assertion.version;
+  Alcotest.(check string) "authorizer" "dsa-hex:aa" a.Assertion.authorizer;
+  (* §4.2: a field body continues over lines that begin with
+     whitespace; blank lines between fields are ignored. *)
+  let b =
+    Assertion.parse
+      "Authorizer: \"dsa-hex:aa\"\n\
+       \n\
+       Licensees: \"dsa-hex:bb\" ||\n\
+       \t\"dsa-hex:cc\"\n\
+       Conditions: (app_domain == \"DisCFS\") &&\n\
+       \  (OPERATION == \"read\")\n\
+       \  -> \"R\";\n\
+       \n\
+       Comment: spans\n\
+       \ three physical lines\n"
+  in
+  (match b.Assertion.licensees with
+  | Some (Ast.Or _) -> ()
+  | _ -> Alcotest.fail "folded Licensees should parse as a disjunction");
+  Alcotest.(check bool) "folded Conditions parse" true (b.Assertion.conditions <> None);
+  (match b.Assertion.comment with
+  | Some c -> Alcotest.(check bool) "comment folded" true (Rex.matches "three physical" c)
+  | None -> Alcotest.fail "comment lost");
+  (* §4.4: Local-Constants substitute into Authorizer and Licensees. *)
+  let c =
+    Assertion.parse
+      "Local-Constants: ADMIN = \"dsa-hex:aa\" BOB = \"dsa-hex:bb\"\n\
+       Authorizer: ADMIN\n\
+       Licensees: BOB\n"
+  in
+  Alcotest.(check string) "constant in Authorizer" "dsa-hex:aa" c.Assertion.authorizer;
+  (match c.Assertion.licensees with
+  | Some (Ast.Principal "dsa-hex:bb") -> ()
+  | _ -> Alcotest.fail "constant in Licensees");
+  (* §4.3/§4.5: empty Licensees and Conditions mean "everyone" /
+     "unconditional" — parsed as absent, not as errors. *)
+  let d = Assertion.parse "Authorizer: \"dsa-hex:aa\"\nLicensees:\nConditions:   \n" in
+  Alcotest.(check bool) "empty Licensees -> None" true (d.Assertion.licensees = None);
+  Alcotest.(check bool) "empty Conditions -> None" true (d.Assertion.conditions = None);
+  (* §4.6: the signature covers exactly the bytes before the Signature
+     field, and its body must be a single quoted string. *)
+  let body = "Authorizer: \"dsa-hex:aa\"\nConditions: true -> \"R\";\n" in
+  let e = Assertion.parse (body ^ "Signature: \"sig-dsa-sha1-hex:00\"\n") in
+  Alcotest.(check (option string)) "signature value" (Some "sig-dsa-sha1-hex:00")
+    e.Assertion.signature;
+  Alcotest.(check string) "signature covers preceding bytes" body e.Assertion.body_text;
+  Alcotest.(check bool) "garbage signature doesn't verify" false (Assertion.verify e);
+  (* Exact diagnostics for the malformed documents of §4. *)
+  let expect_msg msg text =
+    Alcotest.check_raises msg (Assertion.Parse_error msg) (fun () ->
+        ignore (Assertion.parse text))
+  in
+  expect_msg "empty assertion" "";
+  expect_msg "missing Authorizer field" "Licensees: \"dsa-hex:bb\"\n";
+  expect_msg "continuation line before any field" "  Authorizer: \"dsa-hex:aa\"\n";
+  expect_msg "Authorizer must be a single principal" "Authorizer: \"a\" && \"b\"\n";
+  expect_msg "Signature must be a quoted string"
+    "Authorizer: \"dsa-hex:aa\"\nSignature: unquoted\n";
+  expect_msg "malformed Local-Constants field"
+    "Local-Constants: A \"dsa-hex:aa\"\nAuthorizer: A\n"
+
 let test_local_constants () =
   let admin, bob, _, _ = Lazy.force identities in
   let cred =
@@ -514,6 +590,7 @@ let suite =
     Alcotest.test_case "sha256 signature variant" `Quick test_sha256_signatures;
     Alcotest.test_case "tampered assertion" `Quick test_assertion_tamper;
     Alcotest.test_case "parse errors" `Quick test_assertion_parse_errors;
+    Alcotest.test_case "rfc 2704 conformance" `Quick test_rfc2704_conformance;
     Alcotest.test_case "local constants" `Quick test_local_constants;
     Alcotest.test_case "direct authorization" `Quick test_direct_authorization;
     Alcotest.test_case "figure-1 delegation chain" `Quick test_delegation_chain_figure1;

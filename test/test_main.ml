@@ -19,5 +19,6 @@ let () =
       ("webfs", Test_webfs.suite);
       ("fuzz", Test_fuzz.suite);
       ("fault", Test_fault.suite);
+      ("trace", Test_trace.suite);
       ("bonnie", Test_bonnie.suite);
     ]

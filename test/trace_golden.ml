@@ -1,0 +1,33 @@
+(* Golden-trace harness: run a small fixed workload (1 attach +
+   1 create + 1 read) on a traced DisCFS deployment and print the
+   complete span forest — names and nesting only, no durations, so
+   the golden survives cost-model recalibration but breaks loudly
+   when an instrumentation point appears, disappears or moves.
+
+   The checked-in expectation is test/trace_golden.expected; after an
+   intentional instrumentation change, refresh it with
+     dune build @runtest-trace --auto-promote *)
+
+let () =
+  let d = Discfs.Deploy.make ~tracing:true () in
+  let bob = Discfs.Deploy.new_identity d in
+  let client = Discfs.Deploy.attach d ~identity:bob () in
+  (* Setup: the administrator grants the user RWX over the volume
+     (one discfs.submit RPC), as in the paper's evaluation. *)
+  let cred =
+    Discfs.Deploy.admin_issue d
+      ~licensees:(Printf.sprintf "%S" (Discfs.Client.principal client))
+      ~conditions:"app_domain == \"DisCFS\" -> \"RWX\";" ()
+  in
+  (match Discfs.Client.submit_credential client cred with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let fh, _attr, _cred = Discfs.Client.create client ~dir:(Discfs.Client.root client) "hello.txt" () in
+  let _attr, data = Nfs.Client.read (Discfs.Client.nfs client) fh ~off:0 ~count:4096 in
+  assert (data = "");
+  print_string "# golden trace: attach + create + read (names and nesting only)\n";
+  print_string (Trace.render_forest (Trace.forest (Trace.spans d.Discfs.Deploy.trace)));
+  Printf.printf "# spans: %d, open: %d, dropped: %d\n"
+    (List.length (Trace.spans d.Discfs.Deploy.trace))
+    (Trace.depth d.Discfs.Deploy.trace)
+    (Trace.dropped d.Discfs.Deploy.trace)
