@@ -10,6 +10,8 @@
    Usage: dune exec bench/main.exe [-- --quick | --no-bechamel | --size MB]
           dune exec bench/main.exe -- fault_sweep        (robustness sweep only)
           dune exec bench/main.exe -- latency_breakdown  (per-layer virtual time)
+          dune exec bench/main.exe -- cache_ablation [--json PATH]
+                                                         (caching stack cold/warm)
           dune exec bench/main.exe -- trace              (JSONL span dump)
 *)
 
@@ -360,6 +362,143 @@ let latency_breakdown spec =
   say "  deterministic across two runs: %s" (if String.equal first second then "yes" else "NO")
 
 (* ------------------------------------------------------------------ *)
+(* C1: cache ablation — the Figure-12 walk cold vs warm, and with      *)
+(* each cache of the server-side caching stack independently disabled  *)
+(* (buffer cache + readahead, KeyNote memo cache, client attr cache).  *)
+(* Everything is virtual time, so the table is byte-reproducible.      *)
+(* ------------------------------------------------------------------ *)
+
+type ablation_pass = {
+  ap_config : string;
+  ap_pass : string; (* "cold" | "warm" *)
+  ap_seconds : float;
+  ap_disk_self : float;
+  ap_keynote_self : float;
+  ap_bcache : int * int; (* hits, misses *)
+  ap_policy : int * int;
+  ap_attr : int * int;
+}
+
+(* One configuration: build the tree, boot the server cold (the build
+   is out-of-band setup and must not pre-warm the buffer cache), then
+   walk twice — pass 1 is cold, pass 2 reuses whatever each enabled
+   cache retained. Counters are read from the shared metrics registry,
+   so the table doubles as a check that all three caches actually
+   export their traffic through lib/trace. *)
+let ablation_config ~config ~cache_blocks ~cache_size ~attr_cache spec =
+  let b =
+    Backend.discfs ~tracing:true ~cache_blocks ~cache_size ~attr_cache ~attr_ttl:60.0
+      ~name_ttl:120.0 ()
+  in
+  Search.build b spec;
+  match Backend.discfs_deploy b with
+  | None -> failwith "cache_ablation: discfs backend has no deployment"
+  | Some d ->
+    Ffs.Blockdev.drop_cache d.Discfs.Deploy.dev;
+    let metrics = d.Discfs.Deploy.metrics in
+    let trace = d.Discfs.Deploy.trace in
+    let pass name =
+      Trace.Metrics.reset metrics;
+      Trace.reset trace;
+      let _totals, seconds = Search.run b in
+      let layer want =
+        List.fold_left
+          (fun acc (l, s, _) -> if l = want then acc +. s else acc)
+          0.0 (breakdown_rows metrics)
+      in
+      let c k = Trace.Metrics.counter metrics k in
+      {
+        ap_config = config;
+        ap_pass = name;
+        ap_seconds = seconds;
+        ap_disk_self = layer "disk";
+        ap_keynote_self = layer "keynote";
+        ap_bcache = (c "cache.buffer.hits", c "cache.buffer.misses");
+        ap_policy = (c "cache.policy.hits", c "cache.policy.misses");
+        ap_attr = (c "cache.attr.hits", c "cache.attr.misses");
+      }
+    in
+    let cold = pass "cold" in
+    let warm = pass "warm" in
+    [ cold; warm ]
+
+let cache_ablation_rows spec =
+  List.concat
+    [
+      ablation_config ~config:"all caches" ~cache_blocks:4096 ~cache_size:128 ~attr_cache:true
+        spec;
+      ablation_config ~config:"no buffer cache" ~cache_blocks:0 ~cache_size:128
+        ~attr_cache:true spec;
+      ablation_config ~config:"no policy cache" ~cache_blocks:4096 ~cache_size:0
+        ~attr_cache:true spec;
+      ablation_config ~config:"no attr cache" ~cache_blocks:4096 ~cache_size:128
+        ~attr_cache:false spec;
+      ablation_config ~config:"none (baseline)" ~cache_blocks:0 ~cache_size:0
+        ~attr_cache:false spec;
+    ]
+
+let render_ablation rows =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "  %-16s %-5s %9s %10s %9s %13s %13s %13s" "config" "pass" "walk (s)" "disk (s)"
+    "keynote" "bcache h/m" "policy h/m" "attr h/m";
+  List.iter
+    (fun r ->
+      let pair (h, m) = Printf.sprintf "%d/%d" h m in
+      line "  %-16s %-5s %9.2f %10.6f %9.6f %13s %13s %13s" r.ap_config r.ap_pass r.ap_seconds
+        r.ap_disk_self r.ap_keynote_self (pair r.ap_bcache) (pair r.ap_policy) (pair r.ap_attr))
+    rows;
+  Buffer.contents buf
+
+let ablation_json rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"workload\": \"figure-12 search walk\",\n  \"passes\": [\n";
+  List.iteri
+    (fun i r ->
+      let bh, bm = r.ap_bcache and ph, pm = r.ap_policy and ah, am = r.ap_attr in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"config\": %S, \"pass\": %S, \"walk_seconds\": %.6f, \"disk_self_seconds\": \
+            %.6f, \"keynote_self_seconds\": %.6f, \"bcache_hits\": %d, \"bcache_misses\": %d, \
+            \"policy_hits\": %d, \"policy_misses\": %d, \"attr_hits\": %d, \"attr_misses\": \
+            %d}%s\n"
+           r.ap_config r.ap_pass r.ap_seconds r.ap_disk_self r.ap_keynote_self bh bm ph pm ah am
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let cache_ablation ?json spec =
+  say "@.Cache ablation C1: Figure-12 walk, cold vs warm, each cache toggled";
+  say "  (buffer cache 4096 blocks + readahead 8, policy memo cache 128,";
+  say "   client attr/name cache TTL 60/120 s; 'disk'/'keynote' are span";
+  say "   self-times as in O1. The build is out-of-band; pass 1 boots cold.)";
+  let rows = cache_ablation_rows spec in
+  let first = render_ablation rows in
+  print_string first;
+  (let cold = List.find (fun r -> r.ap_config = "all caches" && r.ap_pass = "cold") rows in
+   let warm = List.find (fun r -> r.ap_config = "all caches" && r.ap_pass = "warm") rows in
+   let reduction =
+     if cold.ap_disk_self = 0.0 then 0.0
+     else (cold.ap_disk_self -. warm.ap_disk_self) /. cold.ap_disk_self *. 100.0
+   in
+   say "  warm vs cold disk self-time: %.6fs -> %.6fs (%.1f%% less; >=50%%: %s)"
+     cold.ap_disk_self warm.ap_disk_self reduction
+     (if reduction >= 50.0 then "yes" else "NO"));
+  (* Re-run the whole ablation from fresh deployments: the stack is
+     seeded and virtual-time, so the rendered table must reproduce
+     byte-for-byte. *)
+  let second = render_ablation (cache_ablation_rows spec) in
+  say "  deterministic across two runs: %s" (if String.equal first second then "yes" else "NO");
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (ablation_json rows);
+    close_out oc;
+    say "  wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* O2: trace dump — JSONL spans of a small traced workload             *)
 (* ------------------------------------------------------------------ *)
 
@@ -538,6 +677,18 @@ let () =
   end
   else if has "latency_breakdown" then begin
     latency_breakdown spec;
+    say "@.done."
+  end
+  else if has "cache_ablation" then begin
+    let json =
+      let rec find = function
+        | "--json" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find argv
+    in
+    cache_ablation ?json spec;
     say "@.done."
   end
   else if has "trace" then trace_dump ()

@@ -165,7 +165,7 @@ let fsck image_path =
   let clock = Simnet.Clock.create () in
   let stats = Simnet.Stats.create () in
   let dev =
-    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.local_only ~stats ~nblocks ~block_size
+    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.local_only ~stats ~nblocks ~block_size ()
   in
   match Ffs.Fs.load ~dev image with
   | exception Ffs.Fs.Bad_image m ->

@@ -33,7 +33,7 @@ let ffs_local ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let cost = Cost.local_only in
-  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size () in
   let fs = Ffs.Fs.create ~dev ~ninodes in
   let syscall () = Clock.advance clock cost.Cost.syscall in
   {
@@ -134,10 +134,15 @@ let cfs_ne ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) () =
 (* Deployments are remembered by their (physically unique) clock so
    ablation benches can reach cache statistics. *)
 let deployments : (Clock.t * Discfs.Deploy.t) list ref = ref []
+let attr_caches : (Clock.t * Nfs.Cache.t) list ref = ref []
 
 let discfs ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) ?(cache_size = 128)
+    ?cache_blocks ?readahead ?(attr_cache = false) ?attr_ttl ?name_ttl
     ?cipher ?fault ?retry ?tracing () =
-  let d = Discfs.Deploy.make ~nblocks ~block_size ~ninodes ~cache_size ?fault ?tracing () in
+  let d =
+    Discfs.Deploy.make ~nblocks ~block_size ~ninodes ~cache_size ?cache_blocks ?readahead
+      ?fault ?tracing ()
+  in
   let bob = Discfs.Deploy.new_identity d in
   let client = Discfs.Deploy.attach d ~identity:bob ?cipher ?retry () in
   (* The administrator grants the benchmark user full rights over the
@@ -151,9 +156,49 @@ let discfs ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) ?(cache_siz
   | Ok _ -> ()
   | Error e -> failwith ("credential submission failed: " ^ e));
   deployments := (d.Discfs.Deploy.clock, d) :: !deployments;
-  remote_ops ~label:"DisCFS" ~clock:d.Discfs.Deploy.clock ~stats:d.Discfs.Deploy.stats
-    ~cost:Cost.default ~fs:d.Discfs.Deploy.fs ~nfs:(Discfs.Client.nfs client)
-    ~root:(Fh (Discfs.Client.root client))
+  let nfs = Discfs.Client.nfs client in
+  let ops =
+    remote_ops ~label:"DisCFS" ~clock:d.Discfs.Deploy.clock ~stats:d.Discfs.Deploy.stats
+      ~cost:Cost.default ~fs:d.Discfs.Deploy.fs ~nfs
+      ~root:(Fh (Discfs.Client.root client))
+  in
+  if not attr_cache then ops
+  else begin
+    (* Route name resolution and reads through the client-side NFS
+       cache: repeated lookups within the TTL skip the wire (and the
+       server's policy check) entirely. *)
+    let cache = Nfs.Cache.create ~client:nfs ~clock:d.Discfs.Deploy.clock ?attr_ttl ?name_ttl () in
+    Nfs.Cache.set_trace cache d.Discfs.Deploy.trace;
+    attr_caches := (d.Discfs.Deploy.clock, cache) :: !attr_caches;
+    let syscall () = Clock.advance d.Discfs.Deploy.clock Cost.default.Cost.syscall in
+    let to_fh fs = function
+      | Fh fh -> fh
+      | Ino ino -> { Proto.ino; gen = Ffs.Fs.generation fs ino }
+    in
+    {
+      ops with
+      lookup =
+        (fun dir name ->
+          syscall ();
+          let fh, _ = Nfs.Cache.lookup cache (to_fh ops.fs dir) name in
+          Fh fh);
+      read =
+        (fun h ~off ~len ->
+          syscall ();
+          snd (Nfs.Cache.read cache (to_fh ops.fs h) ~off ~count:len));
+      write =
+        (fun h ~off data ->
+          syscall ();
+          ignore (Nfs.Cache.write cache (to_fh ops.fs h) ~off data));
+      remove =
+        (fun dir name ->
+          syscall ();
+          Nfs.Cache.remove cache (to_fh ops.fs dir) name);
+    }
+  end
 
 let discfs_deploy t =
   List.find_opt (fun (clock, _) -> clock == t.clock) !deployments |> Option.map snd
+
+let discfs_attr_cache t =
+  List.find_opt (fun (clock, _) -> clock == t.clock) !attr_caches |> Option.map snd

@@ -39,6 +39,11 @@ val discfs :
   ?block_size:int ->
   ?ninodes:int ->
   ?cache_size:int ->
+  ?cache_blocks:int ->
+  ?readahead:int ->
+  ?attr_cache:bool ->
+  ?attr_ttl:float ->
+  ?name_ttl:float ->
   ?cipher:Ipsec.Sa.cipher ->
   ?fault:Simnet.Fault.t ->
   ?retry:Oncrpc.Rpc.retry ->
@@ -48,11 +53,22 @@ val discfs :
 (** Full DisCFS: IKE attach, ESP on every RPC, KeyNote authorization
     with the policy cache (the DisCFS rows). The test user holds an
     administrator-issued credential granting RWX over the volume,
-    mirroring the paper's benchmark setup. [fault] makes the link and
-    disk lossy (see {!Simnet.Fault}); [retry] tunes the at-least-once
-    RPC retransmission profile; [tracing] turns on the per-layer
+    mirroring the paper's benchmark setup.
+
+    [cache_size] sizes the server's policy memo cache, [cache_blocks]
+    / [readahead] its buffer cache (default off, see
+    {!Discfs.Deploy.make}). [attr_cache] (default off) routes lookup
+    / read / write / remove through a client-side {!Nfs.Cache} with
+    the given TTLs — repeated lookups within [name_ttl] then skip the
+    wire entirely. [fault] makes the link and disk lossy (see
+    {!Simnet.Fault}); [retry] tunes the at-least-once RPC
+    retransmission profile; [tracing] turns on the per-layer
     span/metrics instrumentation (see {!Discfs.Deploy.make}). *)
 
 val discfs_deploy : t -> Discfs.Deploy.t option
 (** The underlying testbed when the backend is DisCFS (for cache
     statistics in the ablation benches). *)
+
+val discfs_attr_cache : t -> Nfs.Cache.t option
+(** The client-side NFS cache when the backend is DisCFS with
+    [attr_cache:true]. *)

@@ -17,7 +17,7 @@ let deploy ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
   let clock = Clock.create () in
   let stats = Stats.create () in
   let link = Link.create ~clock ~cost ~stats in
-  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size () in
   let fs = Ffs.Fs.create ~dev ~ninodes in
   let nfs_server = Nfs.Server.create ~fs () in
   let rpc = Rpc.server ~clock ~cost ~stats in

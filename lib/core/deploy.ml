@@ -26,8 +26,8 @@ type t = {
 }
 
 let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
-    ?(ninodes = 8192) ?(cache_size = 128) ?hour ?strict_handles ?(seed = "discfs-deploy")
-    ?fault ?(tracing = false) () =
+    ?(ninodes = 8192) ?(cache_size = 128) ?(cache_blocks = 0) ?readahead ?hour
+    ?strict_handles ?(seed = "discfs-deploy") ?fault ?(tracing = false) () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let metrics = Trace.Metrics.create () in
@@ -37,7 +37,7 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
   in
   let link = Link.create ~clock ~cost ~stats in
   Link.set_trace link trace;
-  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  let dev = Ffs.Blockdev.create ~cache_blocks ?readahead ~clock ~cost ~stats ~nblocks ~block_size () in
   Ffs.Blockdev.set_trace dev trace;
   (match fault with
   | None -> ()
@@ -83,15 +83,19 @@ let attach t ~identity ?uid ?path ?cipher ?sa_lifetime ?retry () =
 (* Kill the server process and boot a fresh incarnation from stable
    storage. The disk image and the credential/audit state survive (the
    paper's server persists credentials with the files they govern);
-   SAs, the policy cache and the duplicate-request cache are
-   process-local and die. The old RPC endpoint keeps absorbing
-   datagrams into the void so in-flight clients time out exactly as
-   against a dead host. *)
+   SAs, the policy cache, the buffer cache and the duplicate-request
+   cache are process-local and die. The old RPC endpoint keeps
+   absorbing datagrams into the void so in-flight clients time out
+   exactly as against a dead host. *)
 let crash_and_restart t =
   let image = Ffs.Fs.save t.fs in
   let state = Server.save_state t.server in
   let server_key = Server.server_key t.server in
   Rpc.shutdown t.rpc;
+  (* The buffer cache is server memory: a new incarnation boots cold.
+     (Fs.load drops it again via Blockdev.restore; this makes the
+     semantics explicit and independent of the load path.) *)
+  Ffs.Blockdev.drop_cache t.dev;
   t.restarts <- t.restarts + 1;
   Stats.incr t.stats "server.restarts";
   t.fs <- Ffs.Fs.load ~dev:t.dev image;

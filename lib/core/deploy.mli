@@ -34,6 +34,8 @@ val make :
   ?block_size:int ->
   ?ninodes:int ->
   ?cache_size:int ->
+  ?cache_blocks:int ->
+  ?readahead:int ->
   ?hour:(unit -> int) ->
   ?strict_handles:bool ->
   ?seed:string ->
@@ -42,10 +44,17 @@ val make :
   unit ->
   t
 (** Defaults: 2001-era cost model, 8 K blocks, 16 Ki blocks (128 MB
-    volume), 8 Ki inodes, cache of 128, seed ["discfs-deploy"].
-    Deterministic: same seed, same keys, same results. [fault]
-    attaches a fault injector to the link and the block device.
-    [tracing] (default off) creates a {!Trace.t} keyed to the
+    volume), 8 Ki inodes, policy cache of 128, seed
+    ["discfs-deploy"]. Deterministic: same seed, same keys, same
+    results.
+
+    [cache_blocks] (default [0] — off, the paper-faithful baseline)
+    sizes the server's buffer cache in blocks and [readahead] its
+    sequential-prefetch window (see {!Ffs.Blockdev.create}); both are
+    process memory and are invalidated by {!crash_and_restart}.
+
+    [fault] attaches a fault injector to the link and the block
+    device. [tracing] (default off) creates a {!Trace.t} keyed to the
     deployment's virtual clock and threads it through every layer
     (link, disk, RPC, ESP, NFS, KeyNote, policy cache), backed by
     the [metrics] registry; with it off, [trace] is {!Trace.null}
@@ -70,9 +79,11 @@ val crash_and_restart : t -> unit
 (** Simulate a server crash and reboot: the disk image and the
     credential store / revocation list / audit trail are carried
     through stable storage ({!Ffs.Fs.save} and [Server.save_state]);
-    SAs, the policy cache and the RPC duplicate-request cache are
-    lost with the process. Existing clients' next call times out
-    ({!Oncrpc.Rpc.Rpc_timeout}); recover them with
+    SAs, the policy cache, the buffer cache and the RPC
+    duplicate-request cache are lost with the process (the buffer
+    cache is write-through, so dropping it loses no data — the new
+    incarnation merely boots cold). Existing clients' next call
+    times out ({!Oncrpc.Rpc.Rpc_timeout}); recover them with
     {!Client.reattach}. Counted under ["server.restarts"]. *)
 
 val admin_principal : t -> string

@@ -1,9 +1,11 @@
 type t = {
   capacity : int;
-  entries : (string * int, int * int ref) Hashtbl.t; (* key -> (level, last-use stamp) *)
+  entries : (string, int * int ref) Hashtbl.t; (* key -> (level, last-use stamp) *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
+  mutable flushes : int;
   mutable trace : Trace.t;
 }
 
@@ -15,23 +17,53 @@ let create ~size =
     tick = 0;
     hits = 0;
     misses = 0;
+    evictions = 0;
+    flushes = 0;
     trace = Trace.null;
   }
 
 let set_trace t trace = t.trace <- trace
 
+let metric t name =
+  match Trace.metrics t.trace with
+  | Some m -> Trace.Metrics.incr m name
+  | None -> ()
+
+(* The memo key: a SHA-1 over the requesting principal, the exact
+   action-attribute set the compliance checker would see, and the
+   credential-set epoch. Hashing the *attributes* (not the handle)
+   means anything that changes the KeyNote question — a renamed PATH,
+   a bumped GENERATION, a different hour — naturally keys a different
+   entry, with no flush-on-rename heuristics; folding in the epoch
+   retires every entry the moment the credential set changes. *)
+let key ~peer ~attributes ~epoch =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf epoch;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf peer;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf v)
+    (List.sort compare attributes);
+  Dcrypto.Sha1.hex (Buffer.contents buf)
+
 let touch t = t.tick <- t.tick + 1; t.tick
 
-let find t ~peer ~ino =
-  match Hashtbl.find_opt t.entries (peer, ino) with
+let find t ~key =
+  match Hashtbl.find_opt t.entries key with
   | Some (level, stamp) ->
     t.hits <- t.hits + 1;
     stamp := touch t;
     Trace.instant t.trace "policy.cache.hit";
+    metric t "cache.policy.hits";
     Some level
   | None ->
     t.misses <- t.misses + 1;
     Trace.instant t.trace "policy.cache.miss";
+    metric t "cache.policy.misses";
     None
 
 let evict_lru t =
@@ -42,17 +74,27 @@ let evict_lru t =
       | Some (_, best) when !stamp >= best -> ()
       | _ -> victim := Some (key, !stamp))
     t.entries;
-  match !victim with Some (key, _) -> Hashtbl.remove t.entries key | None -> ()
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.entries key;
+    t.evictions <- t.evictions + 1;
+    metric t "cache.policy.evictions"
+  | None -> ()
 
-let add t ~peer ~ino level =
+let add t ~key level =
   if t.capacity > 0 then begin
-    if (not (Hashtbl.mem t.entries (peer, ino))) && Hashtbl.length t.entries >= t.capacity then
+    if (not (Hashtbl.mem t.entries key)) && Hashtbl.length t.entries >= t.capacity then
       evict_lru t;
-    Hashtbl.replace t.entries (peer, ino) (level, ref (touch t))
+    Hashtbl.replace t.entries key (level, ref (touch t))
   end
 
-let flush t = Hashtbl.reset t.entries
+let flush t =
+  if Hashtbl.length t.entries > 0 then t.flushes <- t.flushes + 1;
+  Hashtbl.reset t.entries
+
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
+let flushes t = t.flushes
 let size t = Hashtbl.length t.entries
 let capacity t = t.capacity

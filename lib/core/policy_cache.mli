@@ -1,28 +1,69 @@
-(** LRU cache of KeyNote policy results, keyed by (peer principal,
-    file handle). The paper's prototype uses exactly this cache
-    ("a cache of requested operations and policy results", §5) with
-    128 entries in the evaluation (§6); without it every NFS
-    operation pays a full compliance check. *)
+(** LRU memoisation of KeyNote compliance results.
+
+    The paper's prototype keeps "a cache of requested operations and
+    policy results" (§5), 128 entries in the evaluation (§6); without
+    it every NFS operation pays a full compliance check.
+
+    {b Keying.} An entry is looked up by an opaque {!key}: a SHA-1
+    over the requesting principal, the complete action-attribute set
+    the compliance checker would evaluate ([HANDLE], [GENERATION],
+    [PATH], [hour], …) and the server's {e credential-set epoch} (a
+    fingerprint of the currently loaded credentials and revoked
+    keys, see {!Server}). Because everything the KeyNote query
+    depends on is folded into the key, a memoised level can never be
+    served for a different question: renaming a file changes [PATH],
+    crossing an hour boundary changes [hour], and loading or revoking
+    a credential changes the epoch — each naturally keys a fresh
+    entry, and the superseded ones age out of the LRU.
+
+    {b Invalidation.} Epoch rotation makes stale entries
+    unreachable; {!flush} additionally drops them eagerly and is
+    called by the server on every credential-set change (submission,
+    issue, revocation, state reload) so revoked authority cannot
+    linger even behind a colliding key.
+
+    {b Observability.} With a tracer attached ({!set_trace}), each
+    {!find} records a ["policy.cache.hit"] or ["policy.cache.miss"]
+    instant inside the enclosing ["policy.check"] span, and traffic
+    is counted in the tracer's metrics registry under
+    ["cache.policy.hits"] / ["cache.policy.misses"] /
+    ["cache.policy.evictions"]. *)
 
 type t
 
 val create : size:int -> t
-(** [size = 0] disables caching (every lookup misses). *)
+(** [size = 0] disables caching (every lookup misses, {!add} is a
+    no-op). Raises [Invalid_argument] on negative size. *)
 
 val set_trace : t -> Trace.t -> unit
-(** Adopt a tracer: each {!find} then records a ["policy.cache.hit"]
-    or ["policy.cache.miss"] instant span. *)
+(** Adopt a tracer (default {!Trace.null}: instrumentation is
+    free). *)
 
-val find : t -> peer:string -> ino:int -> int option
-(** Cached compliance level, refreshing LRU order. *)
+val key : peer:string -> attributes:(string * string) list -> epoch:string -> string
+(** The memo key: SHA-1 (hex) of a canonical encoding of the
+    requesting principal, the action attributes (order-insensitive:
+    they are sorted before hashing) and the credential-set epoch. *)
 
-val add : t -> peer:string -> ino:int -> int -> unit
-(** Insert, evicting the least recently used entry if full. *)
+val find : t -> key:string -> int option
+(** Cached compliance level for [key], refreshing its LRU position. *)
+
+val add : t -> key:string -> int -> unit
+(** Memoise a compliance level, evicting the least recently used
+    entry when full. *)
 
 val flush : t -> unit
-(** Drop everything (called when the credential set changes). *)
+(** Drop every entry (counters survive). Called when the credential
+    set changes. *)
 
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries displaced by capacity pressure ({!flush} and epoch
+    rotation are not evictions). *)
+
+val flushes : t -> int
+(** Number of {!flush} calls that actually dropped entries. *)
+
 val size : t -> int
 val capacity : t -> int

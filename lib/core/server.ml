@@ -36,6 +36,7 @@ type t = {
   hour : unit -> int;
   strict_handles : bool;
   mutable revoked_keys : string list;
+  mutable cred_epoch : string; (* fingerprint of the credential set, part of memo keys *)
   mutable audit : audit_entry list;
   mutable audit_enabled : bool;
 }
@@ -69,6 +70,18 @@ let attributes t ~ino =
 let is_revoked t principal =
   List.exists (Keynote.Ast.principal_equal principal) t.revoked_keys
 
+(* The credential-set epoch: a fingerprint of every loaded credential
+   plus the revoked-key list. It is folded into each memo key, so a
+   credential change retires all cached compliance results at once —
+   old entries become unreachable and age out of the LRU. *)
+let compute_epoch t =
+  let fps =
+    List.sort compare
+      (List.map Assertion.fingerprint (Session.credentials t.session))
+  in
+  let revoked = List.sort compare t.revoked_keys in
+  Dcrypto.Sha1.hex (String.concat "\n" (fps @ ("--revoked--" :: revoked)))
+
 let query_level t ~peer ~ino =
   Trace.span (trace t) "policy.check" @@ fun () ->
   let c = cost () in
@@ -78,22 +91,25 @@ let query_level t ~peer ~ino =
     Clock.advance (clock t) c.Cost.keynote_cached;
     0
   end
-  else
-  match Policy_cache.find t.cache ~peer ~ino with
-  | Some level ->
-    Clock.advance (clock t) c.Cost.keynote_cached;
-    Stats.incr (stats t) "keynote.cache_hits";
-    level
-  | None ->
-    (* The uncached path is the cost the paper's §6 claims is hidden
-       by disk and wire time; give it its own span so the
-       latency_breakdown bench can isolate it. *)
-    Trace.span (trace t) "keynote.check" @@ fun () ->
-    Clock.advance (clock t) c.Cost.keynote_query;
-    Stats.incr (stats t) "keynote.queries";
-    let result = Session.query t.session ~requesters:[ peer ] ~attributes:(attributes t ~ino) in
-    Policy_cache.add t.cache ~peer ~ino result.Compliance.level;
-    result.Compliance.level
+  else begin
+    let attributes = attributes t ~ino in
+    let key = Policy_cache.key ~peer ~attributes ~epoch:t.cred_epoch in
+    match Policy_cache.find t.cache ~key with
+    | Some level ->
+      Clock.advance (clock t) c.Cost.keynote_cached;
+      Stats.incr (stats t) "keynote.cache_hits";
+      level
+    | None ->
+      (* The uncached path is the cost the paper's §6 claims is hidden
+         by disk and wire time; give it its own span so the
+         latency_breakdown bench can isolate it. *)
+      Trace.span (trace t) "keynote.check" @@ fun () ->
+      Clock.advance (clock t) c.Cost.keynote_query;
+      Stats.incr (stats t) "keynote.queries";
+      let result = Session.query t.session ~requesters:[ peer ] ~attributes in
+      Policy_cache.add t.cache ~key result.Compliance.level;
+      result.Compliance.level
+  end
 
 let audit_cap = 10_000
 
@@ -130,19 +146,12 @@ let required_bits (op : Nfs.Server.op) =
   | Nfs.Server.Rmdir ->
     2
 
-(* Namespace changes move files between PATH-based grants, so cached
-   results for other handles may go stale; flush conservatively. *)
-let changes_namespace (op : Nfs.Server.op) =
-  match op with
-  | Nfs.Server.Create | Nfs.Server.Remove | Nfs.Server.Rename | Nfs.Server.Link
-  | Nfs.Server.Symlink | Nfs.Server.Mkdir | Nfs.Server.Rmdir ->
-    true
-  | Nfs.Server.Getattr | Nfs.Server.Statfs | Nfs.Server.Lookup | Nfs.Server.Read
-  | Nfs.Server.Readdir | Nfs.Server.Readlink | Nfs.Server.Write | Nfs.Server.Setattr ->
-    false
-
+(* Namespace changes (rename, link, …) used to force a wholesale
+   cache flush here: moving a file between PATH-based grants could
+   leave memoised results stale. That heuristic is gone — PATH and
+   GENERATION are hashed into every memo key, so a moved file simply
+   keys new entries and the old ones rot out of the LRU. *)
 let authorize t ~conn ~(fh : Proto.fh) ~op =
-  if changes_namespace op then Policy_cache.flush t.cache;
   let required = required_bits op in
   if required = 0 then Ok ()
   else begin
@@ -168,7 +177,12 @@ let present_attr t ~conn (attr : Proto.fattr) =
 
 (* --- credential management ------------------------------------------ *)
 
-let flush_after_change t = Policy_cache.flush t.cache
+(* Every credential-set change rotates the epoch (making old memo
+   keys unreachable) *and* flushes eagerly — revoked authority must
+   not survive even a hash collision. *)
+let flush_after_change t =
+  t.cred_epoch <- compute_epoch t;
+  Policy_cache.flush t.cache
 
 let submit_credential t text =
   Trace.span (trace t) "cred.verify" @@ fun () ->
@@ -279,10 +293,12 @@ let create ~fs ~admin ~server_key ~drbg ?(cache_size = 128) ?(extra_policy = [])
       hour;
       strict_handles;
       revoked_keys = [];
+      cred_epoch = "";
       audit = [];
       audit_enabled;
     }
   in
+  t.cred_epoch <- compute_epoch t;
   Nfs.Server.set_hooks t.nfs
     {
       Nfs.Server.authorize = (fun ~conn ~fh ~op -> authorize t ~conn ~fh ~op);

@@ -10,7 +10,11 @@
       value returned by KeyNote, drawn from the ordered set [false <
       X < W < WX < R < RX < RW < RWX], is interpreted as the octal
       rwx bits (paper §5).
-    - An LRU {!Policy_cache} memoises query results; credentials are
+    - An LRU {!Policy_cache} memoises query results under a SHA-1 of
+      (peer, action attributes, credential-set epoch). The epoch
+      fingerprints the loaded credentials and the revoked-key list;
+      any credential change rotates it (retiring every memoised
+      level) and flushes the cache eagerly. Credentials are
       DSA-verified once at submission.
     - The extra DisCFS RPC program provides credential submission,
       the create/mkdir variants that return a fresh credential to the
@@ -94,7 +98,9 @@ val attach_rpc : t -> Oncrpc.Rpc.server -> unit
 
 val query_level : t -> peer:string -> ino:int -> int
 (** The (cached) compliance level for a principal on a handle;
-    exposed for tests and the benchmark harness. *)
+    exposed for tests and the benchmark harness. Consults the
+    {!Policy_cache} under the current attribute set and epoch — a
+    revoked requester is refused before the cache is looked at. *)
 
 val issue_create_credential : t -> peer:string -> ino:int -> name:string -> Keynote.Assertion.t
 (** The credential the create/mkdir procedures hand back: RWX on the

@@ -1,0 +1,99 @@
+(* Doubly-linked intrusive LRU so find/insert/evict are all O(1);
+   the node table and the list share the same records. *)
+
+type node = {
+  index : int;
+  mutable data : bytes;
+  mutable prev : node option; (* towards MRU *)
+  mutable next : node option; (* towards LRU *)
+}
+
+type t = {
+  capacity : int;
+  nodes : (int, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bcache.create: negative capacity";
+  {
+    capacity;
+    nodes = Hashtbl.create (max 16 capacity);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.nodes
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+(* Detach [n] from the recency list (not from the table). *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let find t i =
+  if t.capacity = 0 then None
+  else
+  match Hashtbl.find_opt t.nodes i with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    Some (Bytes.copy n.data)
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t i = Hashtbl.mem t.nodes i
+
+let remove t i =
+  match Hashtbl.find_opt t.nodes i with
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.nodes i
+  | None -> ()
+
+let evict_lru t =
+  match t.lru with
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.nodes n.index;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let insert t i data =
+  if t.capacity > 0 then begin
+    match Hashtbl.find_opt t.nodes i with
+    | Some n ->
+      n.data <- Bytes.copy data;
+      unlink t n;
+      push_front t n
+    | None ->
+      if Hashtbl.length t.nodes >= t.capacity then evict_lru t;
+      let n = { index = i; data = Bytes.copy data; prev = None; next = None } in
+      Hashtbl.replace t.nodes i n;
+      push_front t n
+  end
+
+let drop t =
+  Hashtbl.reset t.nodes;
+  t.mru <- None;
+  t.lru <- None

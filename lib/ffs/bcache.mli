@@ -1,0 +1,44 @@
+(** An LRU cache of disk blocks, the in-memory half of the buffer
+    cache {!Blockdev} exposes.
+
+    Pure bookkeeping: no clock, no I/O — {!Blockdev} decides what a
+    hit or miss costs in virtual time and when entries are filled,
+    updated (write-through) or dropped (crash, image restore). All
+    operations are O(1): recency is an intrusive doubly-linked list
+    threaded through the hash-table nodes.
+
+    Stored blocks are defensively copied on both {!insert} and
+    {!find}, so callers can keep mutating their buffers. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity = 0] disables the cache entirely: {!find} always
+    misses, {!insert} is a no-op. Raises [Invalid_argument] on a
+    negative capacity. *)
+
+val find : t -> int -> bytes option
+(** [find t i] is a copy of cached block [i], refreshing its recency;
+    counts a hit or a miss. *)
+
+val mem : t -> int -> bool
+(** Presence test that does not touch recency or the hit/miss
+    counters (used to decide which blocks a readahead still needs). *)
+
+val insert : t -> int -> bytes -> unit
+(** Fill or update block [i], making it most recently used; evicts
+    the least-recently-used block when full. *)
+
+val remove : t -> int -> unit
+(** Forget block [i] if present (no eviction counted: removal is a
+    coherence action, not capacity pressure). *)
+
+val drop : t -> unit
+(** Forget everything — the cache dies with the process on a crash;
+    counters survive, contents do not. *)
+
+val capacity : t -> int
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

@@ -14,10 +14,14 @@ type t = {
   mutable head : int; (* last block under the head, for the seek model *)
   mutable fault : Simnet.Fault.t option;
   mutable trace : Trace.t;
+  cache : Bcache.t;
+  readahead : int;
+  mutable last_req : int; (* last explicitly requested block, for sequential detection *)
 }
 
-let create ~clock ~cost ~stats ~nblocks ~block_size =
+let create ?(cache_blocks = 0) ?(readahead = 8) ~clock ~cost ~stats ~nblocks ~block_size () =
   if nblocks <= 0 || block_size <= 0 then invalid_arg "Blockdev.create";
+  if readahead < 0 then invalid_arg "Blockdev.create: negative readahead";
   {
     clock;
     cost;
@@ -28,6 +32,9 @@ let create ~clock ~cost ~stats ~nblocks ~block_size =
     head = 0;
     fault = None;
     trace = Trace.null;
+    cache = Bcache.create ~capacity:cache_blocks;
+    readahead;
+    last_req = -2;
   }
 
 let set_fault t f =
@@ -44,6 +51,14 @@ let block_size t = t.block_size
 let nblocks t = t.nblocks
 let clock t = t.clock
 let stats t = t.stats
+let bcache t = t.cache
+
+(* Export cache traffic to the deployment's metrics registry (when
+   tracing is on) under the shared cache.* namespace. *)
+let metric t name =
+  match Trace.metrics t.trace with
+  | Some m -> Trace.Metrics.incr m name
+  | None -> ()
 
 let charge t i =
   let c = t.cost in
@@ -64,26 +79,84 @@ let check t i = if i < 0 || i >= t.nblocks then invalid_arg "Blockdev: block out
 let disk_fault t =
   match t.fault with None -> None | Some f -> Simnet.Fault.disk_decide f
 
+let raw_block t i =
+  match Hashtbl.find_opt t.store i with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make t.block_size '\000'
+
+(* Speculative sequential prefetch after a miss at [i]: the next
+   [readahead - 1] uncached blocks ride the same disk request,
+   paying transfer time only (the head is already positioned and the
+   op overhead was charged by the demand read). Prefetched data is
+   not fault-checked — a prefetch is not an acknowledged I/O, and a
+   block the script would have failed is simply re-read on demand. *)
+let prefetch t i =
+  if t.readahead > 1 && Bcache.capacity t.cache > 0 then begin
+    let limit = min (t.nblocks - 1) (i + t.readahead - 1) in
+    let j = ref (i + 1) in
+    let fetched = ref 0 in
+    while !j <= limit do
+      if not (Bcache.mem t.cache !j) then begin
+        Clock.advance t.clock (float_of_int t.block_size /. t.cost.Cost.disk_transfer_bps);
+        Bcache.insert t.cache !j (raw_block t !j);
+        t.head <- !j;
+        incr fetched
+      end
+      else j := limit (* a cached block ends the contiguous run *);
+      incr j
+    done;
+    if !fetched > 0 then begin
+      Stats.add t.stats "bcache.readahead_blocks" !fetched;
+      metric t "cache.buffer.readahead_blocks";
+      Trace.instant t.trace "disk.readahead"
+    end
+  end
+
+let note_eviction t before =
+  if Bcache.evictions t.cache > before then begin
+    Stats.incr t.stats "bcache.evictions";
+    metric t "cache.buffer.evictions"
+  end
+
 let read t i =
   check t i;
-  Trace.span t.trace "disk.read" @@ fun () ->
-  charge t i;
-  Stats.incr t.stats "disk.reads";
-  let data =
-    match Hashtbl.find_opt t.store i with
-    | Some b -> Bytes.copy b
-    | None -> Bytes.make t.block_size '\000'
-  in
-  match disk_fault t with
-  | Some Simnet.Fault.Fail_read ->
-    Stats.incr t.stats "disk.io_errors";
-    raise (Io_error (Printf.sprintf "read error at block %d" i))
-  | Some Simnet.Fault.Corrupt_read ->
-    Stats.incr t.stats "disk.corruptions";
-    (match t.fault with
-    | Some f -> Bytes.of_string (Simnet.Fault.corrupt_bytes f (Bytes.to_string data))
-    | None -> data)
-  | Some Simnet.Fault.Fail_write | None -> data
+  let sequential = i = t.last_req + 1 in
+  t.last_req <- i;
+  match Bcache.find t.cache i with
+  | Some data ->
+    (* Buffer-cache hit: served from server memory — no head motion,
+       no virtual time, no disk span. *)
+    Stats.incr t.stats "bcache.hits";
+    metric t "cache.buffer.hits";
+    data
+  | None ->
+    if Bcache.capacity t.cache > 0 then begin
+      Stats.incr t.stats "bcache.misses";
+      metric t "cache.buffer.misses"
+    end;
+    let data =
+      Trace.span t.trace "disk.read" @@ fun () ->
+      charge t i;
+      Stats.incr t.stats "disk.reads";
+      let data = raw_block t i in
+      match disk_fault t with
+      | Some Simnet.Fault.Fail_read ->
+        Stats.incr t.stats "disk.io_errors";
+        raise (Io_error (Printf.sprintf "read error at block %d" i))
+      | Some Simnet.Fault.Corrupt_read ->
+        Stats.incr t.stats "disk.corruptions";
+        (match t.fault with
+        | Some f -> Bytes.of_string (Simnet.Fault.corrupt_bytes f (Bytes.to_string data))
+        | None -> data)
+      | Some Simnet.Fault.Fail_write | None ->
+        (* Only a clean transfer is worth caching. *)
+        let before = Bcache.evictions t.cache in
+        Bcache.insert t.cache i data;
+        note_eviction t before;
+        data
+    in
+    if sequential then prefetch t i;
+    data
 
 let write t i b =
   check t i;
@@ -96,7 +169,15 @@ let write t i b =
     Stats.incr t.stats "disk.io_errors";
     raise (Io_error (Printf.sprintf "write error at block %d" i))
   | Some Simnet.Fault.Fail_read | Some Simnet.Fault.Corrupt_read | None -> ());
-  Hashtbl.replace t.store i (Bytes.copy b)
+  Hashtbl.replace t.store i (Bytes.copy b);
+  (* Write-through: the cache is updated only after the device
+     committed, so a failed write leaves both copies on the old
+     value and the cache can never hold data the disk lost. *)
+  let before = Bcache.evictions t.cache in
+  Bcache.insert t.cache i b;
+  note_eviction t before
+
+let drop_cache t = Bcache.drop t.cache
 
 let snapshot t =
   Hashtbl.fold (fun i b acc -> (i, Bytes.copy b) :: acc) t.store []
@@ -104,6 +185,7 @@ let snapshot t =
 
 let restore t blocks =
   Hashtbl.reset t.store;
+  Bcache.drop t.cache;
   List.iter
     (fun (i, b) ->
       check t i;
@@ -114,8 +196,12 @@ let restore t blocks =
 let poke t i b =
   check t i;
   if Bytes.length b <> t.block_size then invalid_arg "Blockdev.poke: bad block length";
-  Hashtbl.replace t.store i (Bytes.copy b)
+  Hashtbl.replace t.store i (Bytes.copy b);
+  (* Keep the cache coherent with the out-of-band update. *)
+  Bcache.remove t.cache i
 
 let reads t = Stats.get t.stats "disk.reads"
 let writes t = Stats.get t.stats "disk.writes"
 let seeks t = Stats.get t.stats "disk.seeks"
+let cache_hits t = Bcache.hits t.cache
+let cache_misses t = Bcache.misses t.cache

@@ -11,6 +11,8 @@ type t = {
   names : (entry_key * string, (Proto.fh * Proto.fattr) * float) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable expiries : int;
+  mutable trace : Trace.t;
 }
 
 let create ~client ~clock ?(attr_ttl = 3.0) ?(name_ttl = 30.0) () =
@@ -23,11 +25,34 @@ let create ~client ~clock ?(attr_ttl = 3.0) ?(name_ttl = 30.0) () =
     names = Hashtbl.create 64;
     hits = 0;
     misses = 0;
+    expiries = 0;
+    trace = Trace.null;
   }
+
+let set_trace t trace = t.trace <- trace
+
+let metric t name =
+  match Trace.metrics t.trace with
+  | Some m -> Trace.Metrics.incr m name
+  | None -> ()
 
 let key (fh : Proto.fh) = (fh.Proto.ino, fh.Proto.gen)
 
 let fresh t expiry = Clock.now t.clock < expiry
+
+let hit t =
+  t.hits <- t.hits + 1;
+  metric t "cache.attr.hits"
+
+(* A miss is either cold (never cached) or an expiry (cached but past
+   its TTL); the distinction matters when tuning TTLs, so count both. *)
+let miss t ~expired =
+  t.misses <- t.misses + 1;
+  metric t "cache.attr.misses";
+  if expired then begin
+    t.expiries <- t.expiries + 1;
+    metric t "cache.attr.expiries"
+  end
 
 let store_attr t fh attr =
   Hashtbl.replace t.attrs (key fh) (attr, Clock.now t.clock +. t.attr_ttl)
@@ -35,10 +60,10 @@ let store_attr t fh attr =
 let getattr t fh =
   match Hashtbl.find_opt t.attrs (key fh) with
   | Some (attr, expiry) when fresh t expiry ->
-    t.hits <- t.hits + 1;
+    hit t;
     attr
-  | _ ->
-    t.misses <- t.misses + 1;
+  | found ->
+    miss t ~expired:(found <> None);
     let attr = Client.getattr t.client fh in
     store_attr t fh attr;
     attr
@@ -46,10 +71,10 @@ let getattr t fh =
 let lookup t dir name =
   match Hashtbl.find_opt t.names (key dir, name) with
   | Some (result, expiry) when fresh t expiry ->
-    t.hits <- t.hits + 1;
+    hit t;
     result
-  | _ ->
-    t.misses <- t.misses + 1;
+  | found ->
+    miss t ~expired:(found <> None);
     let fh, attr = Client.lookup t.client dir name in
     Hashtbl.replace t.names ((key dir, name)) ((fh, attr), Clock.now t.clock +. t.name_ttl);
     store_attr t fh attr;
@@ -86,3 +111,4 @@ let invalidate_all t =
 
 let hits t = t.hits
 let misses t = t.misses
+let expiries t = t.expiries

@@ -1,20 +1,39 @@
 (** Client-side NFS caching, as real NFS clients do: an attribute
     cache and a directory-name (lookup) cache with time-to-live
-    expiry against the virtual clock. Writes through this layer
-    invalidate the file's cached attributes; removes and renames
-    invalidate name entries.
+    expiry against the {e virtual} clock — an entry is fresh while
+    [Clock.now < expiry], so simulated time, not wall time, ages it.
+    Writes through this layer invalidate the file's cached
+    attributes; removes and renames invalidate name entries.
 
     NFSv2 has no cache-coherence protocol, so staleness up to the TTL
     is inherent — the classic close-to-open trade-off. TTLs default
-    to the common 3 s (attributes) / 30 s (names). *)
+    to the common 3 s (attributes) / 30 s (names).
+
+    {b Observability.} With a tracer attached ({!set_trace}), cache
+    traffic is counted in the tracer's metrics registry under
+    ["cache.attr.hits"] / ["cache.attr.misses"] /
+    ["cache.attr.expiries"] (name-cache traffic included: both
+    caches answer the same question — "can we skip a round trip?"). *)
 
 type t
 
 val create :
   client:Client.t -> clock:Simnet.Clock.t -> ?attr_ttl:float -> ?name_ttl:float -> unit -> t
+(** TTLs are in virtual seconds; [attr_ttl] ages {!getattr} entries,
+    [name_ttl] ages {!lookup} entries. *)
+
+val set_trace : t -> Trace.t -> unit
+(** Adopt a tracer for the ["cache.attr.*"] metrics counters
+    (default {!Trace.null}: instrumentation is free). *)
 
 val getattr : t -> Proto.fh -> Proto.fattr
+(** Served from cache while fresh; otherwise one GETATTR round trip
+    refills the entry. *)
+
 val lookup : t -> Proto.fh -> string -> Proto.fh * Proto.fattr
+(** Served from the name cache while fresh; a miss pays one LOOKUP
+    round trip and also refreshes the target's attribute entry. *)
+
 val read : t -> Proto.fh -> off:int -> count:int -> Proto.fattr * string
 (** Pass-through; refreshes the attribute cache from the reply. *)
 
@@ -22,8 +41,22 @@ val write : t -> Proto.fh -> off:int -> string -> Proto.fattr
 (** Pass-through; updates the attribute cache from the reply. *)
 
 val remove : t -> Proto.fh -> string -> unit
+(** Pass-through; drops the name entry and the directory's
+    attributes. *)
+
 val invalidate : t -> Proto.fh -> unit
+(** Drop one file's attributes and any name entries resolving to
+    it. *)
+
 val invalidate_all : t -> unit
+(** Drop everything (e.g. on reattach after a server restart). *)
 
 val hits : t -> int
+(** Lookups answered from cache (attribute and name combined). *)
+
 val misses : t -> int
+(** Lookups that paid a round trip (cold or expired). *)
+
+val expiries : t -> int
+(** The subset of {!misses} caused by a TTL running out rather than
+    a cold entry — the knob-tuning signal. *)

@@ -20,7 +20,7 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
   let clock = Clock.create () in
   let stats = Stats.create () in
   let link = Link.create ~clock ~cost ~stats in
-  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size in
+  let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size () in
   let fs = Ffs.Fs.create ~dev ~ninodes in
   let drbg = Drbg.create ~seed in
   let server_key = Dsa.generate_key drbg in

@@ -1,0 +1,281 @@
+(* The server-side caching stack: buffer cache + readahead (lib/ffs),
+   KeyNote memo cache (lib/core), client attribute cache (lib/nfs).
+   The invariants worth a regression test are the dangerous ones:
+   revoked authority must never be served from the memo cache, a
+   crash must never leave the buffer cache ahead of the platter, and
+   caching must never change what a read returns. *)
+
+module Proto = Nfs.Proto
+module Assertion = Keynote.Assertion
+module Deploy = Discfs.Deploy
+module Client = Discfs.Client
+module Server = Discfs.Server
+module Bcache = Ffs.Bcache
+module Blockdev = Ffs.Blockdev
+module Clock = Simnet.Clock
+module Stats = Simnet.Stats
+module Fault = Simnet.Fault
+
+let expect_nfs_error status f =
+  match f () with
+  | exception Proto.Nfs_error s when s = status -> ()
+  | exception Proto.Nfs_error s ->
+    Alcotest.failf "expected %s, got %s" (Proto.status_to_string status) (Proto.status_to_string s)
+  | _ -> Alcotest.failf "expected %s" (Proto.status_to_string status)
+
+let quoted c = Printf.sprintf "\"%s\"" (Client.principal c)
+
+let handle_conditions fh value =
+  Printf.sprintf "(app_domain == \"DisCFS\") && (HANDLE == \"%d\") -> \"%s\";" fh.Proto.ino value
+
+let make_dev ?(cache_blocks = 0) ?(readahead = 8) ?(nblocks = 64) ?(block_size = 512) () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let dev =
+    Blockdev.create ~cache_blocks ~readahead ~clock ~cost:Simnet.Cost.default ~stats ~nblocks
+      ~block_size ()
+  in
+  (dev, clock, stats)
+
+let block dev c = Bytes.make (Blockdev.block_size dev) c
+
+(* --- Bcache unit behaviour ------------------------------------------- *)
+
+let test_bcache_lru () =
+  let c = Bcache.create ~capacity:3 in
+  Bcache.insert c 1 (Bytes.of_string "a");
+  Bcache.insert c 2 (Bytes.of_string "b");
+  Bcache.insert c 3 (Bytes.of_string "c");
+  (* Touch 1 so 2 becomes the LRU victim. *)
+  (match Bcache.find c 1 with
+  | Some b -> Alcotest.(check string) "hit returns data" "a" (Bytes.to_string b)
+  | None -> Alcotest.fail "expected hit");
+  Bcache.insert c 4 (Bytes.of_string "d");
+  Alcotest.(check bool) "LRU evicted" false (Bcache.mem c 2);
+  Alcotest.(check bool) "recently used kept" true (Bcache.mem c 1);
+  Alcotest.(check int) "one eviction" 1 (Bcache.evictions c);
+  Alcotest.(check int) "bounded" 3 (Bcache.size c);
+  (* The cache hands out copies: mutating a result must not poison it. *)
+  (match Bcache.find c 3 with
+  | Some b -> Bytes.set b 0 'X'
+  | None -> Alcotest.fail "expected hit");
+  (match Bcache.find c 3 with
+  | Some b -> Alcotest.(check string) "defensive copy" "c" (Bytes.to_string b)
+  | None -> Alcotest.fail "expected hit");
+  Bcache.drop c;
+  Alcotest.(check int) "drop empties" 0 (Bcache.size c);
+  Alcotest.(check int) "drop keeps counters" 1 (Bcache.evictions c);
+  (* Capacity 0 disables caching entirely. *)
+  let z = Bcache.create ~capacity:0 in
+  Bcache.insert z 1 (Bytes.of_string "x");
+  Alcotest.(check (option string)) "disabled cache stores nothing" None
+    (Option.map Bytes.to_string (Bcache.find z 1))
+
+(* --- buffer cache on the block device -------------------------------- *)
+
+let test_buffer_cache_hit_is_free () =
+  let dev, clock, stats = make_dev ~cache_blocks:16 ~readahead:1 () in
+  Blockdev.write dev 7 (block dev 'x');
+  let t0 = Clock.now clock in
+  (* The write went through the cache too: this read is a hit. *)
+  ignore (Blockdev.read dev 7);
+  Alcotest.(check (float 0.0)) "cache hit charges no time" t0 (Clock.now clock);
+  Alcotest.(check int) "no physical read" 0 (Blockdev.reads dev);
+  Alcotest.(check int) "hit counted" 1 (Stats.get stats "bcache.hits");
+  (* A cold block pays the full physical cost. *)
+  ignore (Blockdev.read dev 30);
+  Alcotest.(check bool) "miss charges time" true (Clock.now clock > t0);
+  Alcotest.(check int) "physical read" 1 (Blockdev.reads dev);
+  Alcotest.(check int) "miss counted" 1 (Stats.get stats "bcache.misses");
+  (* ...and the second access is free. *)
+  let t1 = Clock.now clock in
+  ignore (Blockdev.read dev 30);
+  Alcotest.(check (float 0.0)) "filled on miss" t1 (Clock.now clock)
+
+let test_readahead_prefetch () =
+  let dev, _clock, stats = make_dev ~cache_blocks:32 ~readahead:8 () in
+  for i = 0 to 15 do
+    Blockdev.write dev i (block dev (Char.chr (Char.code 'a' + i)))
+  done;
+  Blockdev.drop_cache dev;
+  let phys0 = Blockdev.reads dev in
+  (* A sequential pair triggers the prefetcher: blocks 2..8 ride the
+     request for 1. *)
+  ignore (Blockdev.read dev 0);
+  ignore (Blockdev.read dev 1);
+  Alcotest.(check int) "prefetch window filled" 7 (Stats.get stats "bcache.readahead_blocks");
+  let phys1 = Blockdev.reads dev in
+  for i = 2 to 8 do
+    let b = Blockdev.read dev i in
+    Alcotest.(check char) "prefetched content" (Char.chr (Char.code 'a' + i)) (Bytes.get b 0)
+  done;
+  Alcotest.(check int) "prefetched blocks hit, no demand I/O" phys1 (Blockdev.reads dev);
+  Alcotest.(check int) "two demand reads total" 2 (phys1 - phys0)
+
+let test_failed_write_not_cached () =
+  (* A write the controller failed must leave both the platter and the
+     cache on the old value — the cache may never run ahead of the
+     disk. *)
+  let dev, _clock, _stats = make_dev ~cache_blocks:16 ~readahead:1 () in
+  let fault = Fault.create () in
+  Blockdev.set_fault dev (Some fault);
+  Blockdev.write dev 3 (block dev 'o') (* disk op 0 *);
+  Fault.script_disk fault [ (1, Fault.Fail_write) ];
+  (match Blockdev.write dev 3 (block dev 'n') (* disk op 1: fails *) with
+  | exception Blockdev.Io_error _ -> ()
+  | () -> Alcotest.fail "scripted write fault did not fire");
+  let via_cache = Blockdev.read dev 3 in
+  Alcotest.(check char) "cache holds committed value" 'o' (Bytes.get via_cache 0);
+  Blockdev.drop_cache dev;
+  let via_disk = Blockdev.read dev 3 in
+  Alcotest.(check char) "platter agrees" 'o' (Bytes.get via_disk 0)
+
+let test_crash_mid_write_no_stale_blocks () =
+  (* End-to-end: a client writes through the full stack, the server
+     crashes, and the rebooted incarnation must serve current data
+     from a cold cache — never a stale or phantom cached block. *)
+  let d = Deploy.make ~cache_blocks:64 ~seed:"test-cache-crash" () in
+  let admin = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 () in
+  let fh, _, _ = Client.create admin ~dir:(Client.root admin) "journal.txt" () in
+  Nfs.Client.write_all (Client.nfs admin) fh "version-1";
+  (* Warm the buffer cache with the freshly written block. *)
+  ignore (Nfs.Client.read (Client.nfs admin) fh ~off:0 ~count:9);
+  Alcotest.(check bool) "cache warm before crash" true
+    (Bcache.size (Blockdev.bcache d.Deploy.dev) > 0);
+  Deploy.crash_and_restart d;
+  Alcotest.(check int) "buffer cache dropped by crash" 0
+    (Bcache.size (Blockdev.bcache d.Deploy.dev));
+  let admin2 = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 () in
+  let misses0 = Blockdev.cache_misses d.Deploy.dev in
+  let _, data = Nfs.Client.read (Client.nfs admin2) fh ~off:0 ~count:9 in
+  Alcotest.(check string) "write-through data survives the crash" "version-1" data;
+  Alcotest.(check bool) "first post-crash read misses (cold cache)" true
+    (Blockdev.cache_misses d.Deploy.dev > misses0)
+
+(* --- policy memo cache ----------------------------------------------- *)
+
+let test_revoked_credential_misses_memo_cache () =
+  let d = Deploy.make ~seed:"test-cache-revoke" () in
+  let admin = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 () in
+  let fh, _, _ = Client.create admin ~dir:(Client.root admin) "secret.txt" () in
+  Nfs.Client.write_all (Client.nfs admin) fh "classified";
+  let bob = Deploy.attach d ~identity:(Deploy.new_identity d) ~uid:100 () in
+  let cred = Deploy.admin_issue d ~licensees:(quoted bob) ~conditions:(handle_conditions fh "R") () in
+  (match Client.submit_credential bob cred with Ok _ -> () | Error e -> Alcotest.fail e);
+  let cache = Server.cache d.Deploy.server in
+  (* Warm the memo cache with Bob's grant. *)
+  ignore (Nfs.Client.read (Client.nfs bob) fh ~off:0 ~count:4);
+  ignore (Nfs.Client.read (Client.nfs bob) fh ~off:0 ~count:4);
+  Alcotest.(check bool) "memoised while credential stands" true
+    (Discfs.Policy_cache.hits cache > 0);
+  (* Revocation flushes the memo cache and rotates the epoch. *)
+  (match Client.revoke_credential admin ~fingerprint:(Assertion.fingerprint cred) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "flush on revocation" 0 (Discfs.Policy_cache.size cache);
+  let hits0 = Discfs.Policy_cache.hits cache in
+  expect_nfs_error Proto.nfserr_acces (fun () ->
+      ignore (Nfs.Client.read (Client.nfs bob) fh ~off:0 ~count:4));
+  Alcotest.(check int) "revoked request served no memoised grant" hits0
+    (Discfs.Policy_cache.hits cache);
+  Alcotest.(check bool) "it re-ran the compliance checker" true
+    (Discfs.Policy_cache.misses cache > 0)
+
+let test_epoch_and_attributes_key_the_memo () =
+  (* The memo key must separate everything the compliance checker
+     sees: principal, attributes, credential-set epoch. *)
+  let attrs = [ ("HANDLE", "7"); ("PATH", "/a") ] in
+  let k = Discfs.Policy_cache.key ~peer:"p1" ~attributes:attrs ~epoch:"e1" in
+  Alcotest.(check string) "deterministic" k
+    (Discfs.Policy_cache.key ~peer:"p1" ~attributes:attrs ~epoch:"e1");
+  Alcotest.(check string) "attribute order canonicalised" k
+    (Discfs.Policy_cache.key ~peer:"p1" ~attributes:(List.rev attrs) ~epoch:"e1");
+  let different name k' = Alcotest.(check bool) name true (k <> k') in
+  different "peer separates"
+    (Discfs.Policy_cache.key ~peer:"p2" ~attributes:attrs ~epoch:"e1");
+  different "attributes separate"
+    (Discfs.Policy_cache.key ~peer:"p1" ~attributes:[ ("HANDLE", "8"); ("PATH", "/a") ] ~epoch:"e1");
+  different "epoch separates"
+    (Discfs.Policy_cache.key ~peer:"p1" ~attributes:attrs ~epoch:"e2")
+
+(* --- client attribute cache ------------------------------------------ *)
+
+let test_attr_cache_expiry_counter () =
+  let d = Cfs.Cfs_ne.deploy () in
+  let client, root = Cfs.Cfs_ne.connect d () in
+  let clock = d.Cfs.Cfs_ne.clock in
+  let cache = Nfs.Cache.create ~client ~clock () in
+  let fh, _ = Nfs.Client.create_file client root "ttl.txt" Proto.sattr_none in
+  ignore (Nfs.Cache.getattr cache fh) (* cold miss *);
+  ignore (Nfs.Cache.getattr cache fh) (* hit *);
+  Alcotest.(check int) "cold miss is not an expiry" 0 (Nfs.Cache.expiries cache);
+  Clock.advance clock 4.0 (* past the 3 s attribute TTL *);
+  ignore (Nfs.Cache.getattr cache fh);
+  Alcotest.(check int) "TTL lapse counted as expiry" 1 (Nfs.Cache.expiries cache);
+  Alcotest.(check int) "and as a miss" 2 (Nfs.Cache.misses cache);
+  Alcotest.(check int) "one hit in between" 1 (Nfs.Cache.hits cache)
+
+(* --- property: caching never changes results ------------------------- *)
+
+(* Random mixes of writes and reads against one file, applied to two
+   identical filesystems — one over a generously cached + readahead
+   device, one over a bare device. Every read must return identical
+   bytes: the cache layer may only change *when* the platter is
+   touched, never *what* the file contains. *)
+type fop = Write of int * string | Read of int * int
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (int_range 0 20_000 >>= fun off ->
+       oneof
+         [
+           (int_range 1 2_000 >>= fun len ->
+            map (fun c -> Write (off, String.make len c)) printable);
+           map (fun len -> Read (off, len)) (int_range 1 4_000);
+         ]))
+
+let show_ops ops =
+  String.concat "; "
+    (List.map
+       (function
+         | Write (off, s) -> Printf.sprintf "W@%d[%d]" off (String.length s)
+         | Read (off, len) -> Printf.sprintf "R@%d[%d]" off len)
+       ops)
+
+let prop_cached_fs_reads_equal_uncached =
+  QCheck.Test.make ~name:"cached Fs reads == uncached (random access patterns)" ~count:60
+    (QCheck.make ~print:show_ops gen_ops) (fun ops ->
+      let instance ~cache_blocks ~readahead =
+        let dev, _, _ = make_dev ~cache_blocks ~readahead ~nblocks:256 ~block_size:512 () in
+        let fs = Ffs.Fs.create ~dev ~ninodes:16 in
+        let f = Ffs.Fs.create_file fs (Ffs.Fs.root fs) "f" ~perms:0o644 ~uid:0 in
+        (fs, f)
+      in
+      let fs_c, f_c = instance ~cache_blocks:64 ~readahead:8 in
+      let fs_u, f_u = instance ~cache_blocks:0 ~readahead:1 in
+      List.for_all
+        (function
+          | Write (off, data) ->
+            Ffs.Fs.write fs_c f_c ~off data;
+            Ffs.Fs.write fs_u f_u ~off data;
+            true
+          | Read (off, len) ->
+            String.equal (Ffs.Fs.read fs_c f_c ~off ~len) (Ffs.Fs.read fs_u f_u ~off ~len))
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "bcache LRU mechanics" `Quick test_bcache_lru;
+    Alcotest.test_case "buffer-cache hit is free" `Quick test_buffer_cache_hit_is_free;
+    Alcotest.test_case "sequential readahead" `Quick test_readahead_prefetch;
+    Alcotest.test_case "failed write never cached" `Quick test_failed_write_not_cached;
+    Alcotest.test_case "crash drops cache, no stale blocks" `Quick
+      test_crash_mid_write_no_stale_blocks;
+    Alcotest.test_case "revoked credential misses memo cache" `Quick
+      test_revoked_credential_misses_memo_cache;
+    Alcotest.test_case "memo key separates peer/attrs/epoch" `Quick
+      test_epoch_and_attributes_key_the_memo;
+    Alcotest.test_case "attr cache counts expiries" `Quick test_attr_cache_expiry_counter;
+    QCheck_alcotest.to_alcotest prop_cached_fs_reads_equal_uncached;
+  ]

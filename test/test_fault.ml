@@ -47,7 +47,7 @@ let test_blockdev_scripted_faults () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let dev =
-    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:16 ~block_size:512
+    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:16 ~block_size:512 ()
   in
   let fault = Fault.create ~seed:"disk-unit" () in
   Ffs.Blockdev.set_fault dev (Some fault);

@@ -9,7 +9,7 @@ let make_fs ?(nblocks = 4096) ?(ninodes = 256) () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let dev =
-    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks ~block_size:8192
+    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks ~block_size:8192 ()
   in
   Ffs.Fs.create ~dev ~ninodes
 
@@ -25,7 +25,7 @@ let test_blockdev () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let dev =
-    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:64 ~block_size:512
+    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:64 ~block_size:512 ()
   in
   let b = Bytes.make 512 'x' in
   Ffs.Blockdev.write dev 3 b;
@@ -43,7 +43,7 @@ let test_seek_model () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let dev =
-    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:1024 ~block_size:8192
+    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:1024 ~block_size:8192 ()
   in
   (* Sequential run: one seek at most, then streaming. *)
   for i = 10 to 20 do ignore (Ffs.Blockdev.read dev i) done;

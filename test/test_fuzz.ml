@@ -172,7 +172,7 @@ let prop_image_loader_total =
       let stats = Simnet.Stats.create () in
       let dev =
         Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:64
-          ~block_size:8192
+          ~block_size:8192 ()
       in
       match Ffs.Fs.load ~dev junk with
       | _ -> true

@@ -20,5 +20,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
+      ("cache", Test_cache.suite);
       ("bonnie", Test_bonnie.suite);
     ]

@@ -10,7 +10,7 @@ module Server = Discfs.Server
 let make_dev ?(nblocks = 4096) () =
   let clock = Simnet.Clock.create () in
   let stats = Simnet.Stats.create () in
-  Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks ~block_size:8192
+  Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks ~block_size:8192 ()
 
 let test_fs_image_roundtrip () =
   let dev = make_dev () in
@@ -105,7 +105,7 @@ let test_server_restart () =
   let stats = Simnet.Stats.create () in
   let link = Simnet.Link.create ~clock ~cost:Simnet.Cost.default ~stats in
   let dev =
-    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:16384 ~block_size:8192
+    Ffs.Blockdev.create ~clock ~cost:Simnet.Cost.default ~stats ~nblocks:16384 ~block_size:8192 ()
   in
   let fs = Ffs.Fs.load ~dev disk_image in
   let server =
