@@ -1,0 +1,199 @@
+(* discfs_lint: the repo's static-analysis driver.
+
+   - check:       run every typed-AST rule over the .cmt files dune
+                  produced for lib/, bin/, bench/ and test/, plus the
+                  mli-coverage walk over lib/ sources. This is what
+                  `dune build @lint` runs.
+   - cmt:         lint specific .cmt files under a forced role — used
+                  by the fixture tests and the golden report.
+   - credentials: statically analyze a KeyNote credential store
+                  (Pass B) before deployment. *)
+
+open Cmdliner
+
+let ( // ) = Filename.concat
+
+let print_findings findings =
+  List.iter (fun f -> print_endline (Lint.Rules.render_finding f)) findings
+
+let finish ~exit_zero n_findings =
+  if n_findings = 0 || exit_zero then 0 else 1
+
+(* --- check ------------------------------------------------------------- *)
+
+let default_scan_dirs = [ "lib"; "bin"; "bench"; "test" ]
+let default_excludes = [ "test/lint_fixtures" ]
+
+let is_under prefix path =
+  String.length path >= String.length prefix && String.sub path 0 (String.length prefix) = prefix
+
+let check root dirs excludes exit_zero quiet =
+  let dirs = if dirs = [] then default_scan_dirs else dirs in
+  let excludes = excludes @ default_excludes in
+  let errors = ref [] in
+  let findings = ref [] in
+  let n_modules = ref 0 in
+  List.iter
+    (fun dir ->
+      Lint.Rules.scan_cmts (root // dir)
+      |> List.iter (fun cmt ->
+             match Lint.Rules.check_cmt ~source_root:root cmt with
+             | Error m -> errors := m :: !errors
+             | Ok fs ->
+               incr n_modules;
+               let fs =
+                 List.filter
+                   (fun f ->
+                     not
+                       (List.exists (fun e -> is_under e f.Lint.Rules.file) excludes))
+                   fs
+               in
+               findings := fs @ !findings))
+    dirs;
+  findings := Lint.Rules.check_mli_coverage ~source_root:root "lib" @ !findings;
+  let findings = List.sort_uniq Lint.Rules.compare_finding !findings in
+  print_findings findings;
+  List.iter (fun m -> prerr_endline ("discfs_lint: warning: " ^ m)) (List.rev !errors);
+  if not quiet then
+    Printf.eprintf "discfs_lint: %d finding(s) in %d module(s)\n%!" (List.length findings)
+      !n_modules;
+  finish ~exit_zero (List.length findings)
+
+let root_arg =
+  Arg.(
+    value & opt dir "."
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:
+          "Root under which sources (for suppression comments and mli coverage) and .cmt \
+           trees are resolved. Inside the dune @lint rule this is the build context root.")
+
+let exit_zero_arg =
+  Arg.(
+    value & flag
+    & info [ "exit-zero" ] ~doc:"Report findings but exit 0 anyway (for golden tests).")
+
+let check_cmd =
+  let dirs = Arg.(value & pos_all string [] & info [] ~docv:"DIR") in
+  let excludes =
+    Arg.(
+      value & opt_all string []
+      & info [ "exclude" ] ~docv:"PREFIX"
+          ~doc:"Drop findings whose source path starts with $(docv). May be repeated.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No summary line on stderr.") in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Lint the whole repo's typed ASTs (what dune build @lint runs)")
+    Term.(const check $ root_arg $ dirs $ excludes $ exit_zero_arg $ quiet)
+
+(* --- cmt --------------------------------------------------------------- *)
+
+let role_conv =
+  let parse = function
+    | "lib" -> Ok Lint.Rules.Lib
+    | "decode" -> Ok Lint.Rules.Decode
+    | "exe" -> Ok Lint.Rules.Exe
+    | s -> Error (`Msg ("unknown role: " ^ s))
+  in
+  let print fmt r =
+    Format.pp_print_string fmt
+      (match r with Lint.Rules.Lib -> "lib" | Lint.Rules.Decode -> "decode" | Lint.Rules.Exe -> "exe")
+  in
+  Arg.conv (parse, print)
+
+let cmt root role exit_zero files =
+  let findings = ref [] and errors = ref [] in
+  List.iter
+    (fun file ->
+      let files = if Sys.is_directory file then Lint.Rules.scan_cmts file else [ file ] in
+      List.iter
+        (fun f ->
+          match Lint.Rules.check_cmt ?role ~source_root:root f with
+          | Ok fs -> findings := fs @ !findings
+          | Error m -> errors := m :: !errors)
+        files)
+    files;
+  let findings = List.sort_uniq Lint.Rules.compare_finding !findings in
+  print_findings findings;
+  List.iter (fun m -> prerr_endline ("discfs_lint: warning: " ^ m)) (List.rev !errors);
+  finish ~exit_zero (List.length findings)
+
+let cmt_cmd =
+  let role =
+    Arg.(
+      value
+      & opt (some role_conv) None
+      & info [ "role" ] ~docv:"lib|decode|exe"
+          ~doc:"Force the rule set instead of inferring it from the source path.")
+  in
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"CMT" ~doc:".cmt files or directories")
+  in
+  Cmd.v
+    (Cmd.info "cmt" ~doc:"Lint specific .cmt files (fixture tests, golden report)")
+    Term.(const cmt $ root_arg $ role $ exit_zero_arg $ files)
+
+(* --- credentials ------------------------------------------------------- *)
+
+let credentials dir now no_verify revoked_keys revoked_fps values exit_zero =
+  let config =
+    {
+      Lint.Credgraph.values =
+        (match values with [] -> Lint.Credgraph.default_values | v -> v);
+      now;
+      revoked_keys;
+      revoked_fingerprints = revoked_fps;
+      verify_signatures = not no_verify;
+    }
+  in
+  match Lint.Credgraph.run_dir ~config dir with
+  | Error m ->
+    prerr_endline ("discfs_lint: " ^ m);
+    2
+  | Ok report ->
+    print_string (Lint.Credgraph.render report);
+    finish ~exit_zero (List.length report.Lint.Credgraph.findings)
+
+let credentials_cmd =
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"STORE") in
+  let now =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "now" ] ~docv:"T"
+          ~doc:"Virtual time for expiry checks; omit to skip the expired rule.")
+  in
+  let no_verify =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip DSA signature verification.")
+  in
+  let revoked_keys =
+    Arg.(
+      value & opt_all string []
+      & info [ "revoked-key" ] ~docv:"PRINCIPAL" ~doc:"Treat this key as revoked. May repeat.")
+  in
+  let revoked_fps =
+    Arg.(
+      value & opt_all string []
+      & info [ "revoked-fp" ] ~docv:"FINGERPRINT"
+          ~doc:"Treat this credential fingerprint as revoked. May repeat.")
+  in
+  let values =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "values" ] ~docv:"V1,V2,..."
+          ~doc:"Ordered compliance values, lowest first (default the DisCFS set).")
+  in
+  Cmd.v
+    (Cmd.info "credentials"
+       ~doc:"Statically analyze a KeyNote credential store (cycles, dead and escalated chains)")
+    Term.(
+      const credentials $ dir $ now $ no_verify $ revoked_keys $ revoked_fps $ values
+      $ exit_zero_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "discfs_lint" ~version:"1.0"
+       ~doc:"Static analysis for the DisCFS tree and its credential stores")
+    [ check_cmd; cmt_cmd; credentials_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

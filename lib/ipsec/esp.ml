@@ -46,14 +46,15 @@ let tag_of ~key ~nonce header ciphertext =
 
 (* 3DES-HMAC-SHA1 subkeys derived from the 32-byte SA key. *)
 let tdes_keys sa =
-  let base = Sa.key sa in
+  let base = Dcrypto.Secret.reveal (Sa.key sa) in
   let enc = String.sub (Dcrypto.Hmac.sha256 ~key:base "3des-cipher" ^ base) 0 24 in
   let auth = Dcrypto.Hmac.sha256 ~key:base "hmac-auth" in
   (enc, auth)
 
 let tdes_tag_len = 12 (* HMAC-SHA1-96 *)
 
-let tdes_iv sa seq = String.sub (Dcrypto.Hmac.sha256 ~key:(Sa.key sa) ("iv" ^ be64 seq)) 0 8
+let tdes_iv sa seq =
+  String.sub (Dcrypto.Hmac.sha256 ~key:(Dcrypto.Secret.reveal (Sa.key sa)) ("iv" ^ be64 seq)) 0 8
 
 let seal sa payload =
   Trace.span (Sa.trace sa) "esp.seal" @@ fun () ->
@@ -62,9 +63,10 @@ let seal sa payload =
   let header = be32 (Sa.spi sa) ^ be64 seq in
   match Sa.cipher sa with
   | Sa.Chacha20_poly1305 ->
+    let key = Dcrypto.Secret.reveal (Sa.key sa) in
     let nonce = nonce_of_seq seq in
-    let ciphertext = Dcrypto.Chacha20.crypt ~key:(Sa.key sa) ~nonce ~counter:1 payload in
-    header ^ ciphertext ^ tag_of ~key:(Sa.key sa) ~nonce header ciphertext
+    let ciphertext = Dcrypto.Chacha20.crypt ~key ~nonce ~counter:1 payload in
+    header ^ ciphertext ^ tag_of ~key ~nonce header ciphertext
   | Sa.Tdes_hmac_sha1 ->
     let enc_key, auth_key = tdes_keys sa in
     let ciphertext = Dcrypto.Des.Triple.cbc_encrypt ~key:enc_key ~iv:(tdes_iv sa seq) payload in
@@ -83,14 +85,15 @@ let open_ sa packet =
   match Sa.cipher sa with
   | Sa.Chacha20_poly1305 ->
     if n < overhead then raise (Esp_error "packet too short");
+    let key = Dcrypto.Secret.reveal (Sa.key sa) in
     let ciphertext = String.sub packet header_len (n - overhead) in
     let tag = String.sub packet (n - tag_len) tag_len in
     let nonce = nonce_of_seq seq in
-    let expected = tag_of ~key:(Sa.key sa) ~nonce header ciphertext in
+    let expected = tag_of ~key ~nonce header ciphertext in
     if not (Dcrypto.Hmac.equal tag expected) then raise (Esp_error "authentication failed");
     if not (Sa.replay_check sa seq) then
       raise (Esp_error (Printf.sprintf "replayed sequence %d" seq));
-    Dcrypto.Chacha20.crypt ~key:(Sa.key sa) ~nonce ~counter:1 ciphertext
+    Dcrypto.Chacha20.crypt ~key ~nonce ~counter:1 ciphertext
   | Sa.Tdes_hmac_sha1 ->
     let enc_key, auth_key = tdes_keys sa in
     let ciphertext = String.sub packet header_len (n - header_len - tdes_tag_len) in

@@ -122,7 +122,10 @@ let rekey ~link ~drbg ~client ~server () =
   Link.transmit link (16 + 8);
   Link.transmit link (16 + 8);
   let derive old_sa label =
-    let key = Dcrypto.Hmac.sha256 ~key:(Sa.key old_sa) ("rekey:" ^ label ^ ":" ^ nonce) in
+    let key =
+      Dcrypto.Hmac.sha256 ~key:(Dcrypto.Secret.reveal (Sa.key old_sa))
+        ("rekey:" ^ label ^ ":" ^ nonce)
+    in
     let spi = 1 + ((Char.code key.[0] lsl 8) lor Char.code key.[1]) in
     let lifetime = match Sa.lifetime old_sa with l when l = max_int -> None | l -> Some l in
     Sa.create ~clock ~cost ~stats ~spi ~key ~cipher:(Sa.cipher old_sa) ?lifetime ~trace ()

@@ -2,7 +2,7 @@ type cipher = Chacha20_poly1305 | Tdes_hmac_sha1
 
 type t = {
   spi : int;
-  key : string;
+  key : Dcrypto.Secret.t;
   cipher : cipher;
   clock : Simnet.Clock.t;
   cost : Simnet.Cost.t;
@@ -22,7 +22,7 @@ let create ~clock ~cost ~stats ~spi ~key ?(cipher = Chacha20_poly1305)
   if lifetime <= 0 then invalid_arg "Sa.create: lifetime must be positive";
   {
     spi;
-    key;
+    key = Dcrypto.Secret.of_string key;
     cipher;
     clock;
     cost;

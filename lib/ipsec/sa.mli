@@ -26,7 +26,11 @@ val create :
     hard). Defaults to unlimited. *)
 
 val spi : t -> int
-val key : t -> string
+
+val key : t -> Dcrypto.Secret.t
+(** The traffic key, still wrapped; {!Dcrypto.Secret.reveal} only at
+    the cipher/PRF call. *)
+
 val cipher : t -> cipher
 val clock : t -> Simnet.Clock.t
 val cost : t -> Simnet.Cost.t

@@ -1,0 +1,42 @@
+(** Tokenizer shared by the Licensees and Conditions field parsers. *)
+
+type token =
+  | STRING of string
+  | NUMBER of float
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | ARROW  (** [->] *)
+  | ANDAND
+  | OROR
+  | BANG
+  | EQ  (** [==] *)
+  | NEQ
+  | LE
+  | GE
+  | LT
+  | GT
+  | TILDE_EQ  (** [~=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | DOT
+  | DOLLAR
+  | ASSIGN  (** single ['='], used by Local-Constants *)
+  | EOF
+
+exception Lex_error of string
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> token list
+(** Tokenize a field body. The result always ends with {!EOF}.
+    Raises {!Lex_error} on unterminated strings, malformed numbers,
+    or characters outside the KeyNote grammar. *)

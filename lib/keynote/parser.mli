@@ -1,0 +1,15 @@
+(** Recursive-descent parsers for the Licensees and Conditions
+    fields of a KeyNote assertion. *)
+
+exception Parse_error of string
+
+val licensees : ?resolve:(string -> string) -> string -> Ast.licensees
+(** Parse a Licensees field body. [resolve] maps bare identifiers
+    through Local-Constants; unknown identifiers stand for themselves
+    (e.g. [POLICY] or application principal names). Raises
+    {!Parse_error} (or {!Lexer.Lex_error}) on malformed input. *)
+
+val conditions : string -> Ast.program
+(** Parse a Conditions field body into an ordered clause program.
+    Raises {!Parse_error} (or {!Lexer.Lex_error}) on malformed
+    input. *)

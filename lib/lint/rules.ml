@@ -1,0 +1,360 @@
+(* Pass A: typed-AST lint over the .cmt files dune already produces.
+
+   The checker deliberately works on *typed* trees, not source text:
+   poly-compare needs the instantiated type of each `=`/`compare`
+   occurrence, and secret-flow needs the types of arguments at call
+   sites. Loading is compiler-libs' Cmt_format; traversal is a
+   Tast_iterator with an overridden [expr] case. *)
+
+type rule =
+  | Determinism
+  | Poly_compare
+  | No_print
+  | Decode_result
+  | Secret_flow
+  | Mli_coverage
+
+let all_rules =
+  [ Determinism; Poly_compare; No_print; Decode_result; Secret_flow; Mli_coverage ]
+
+let rule_name = function
+  | Determinism -> "determinism"
+  | Poly_compare -> "poly-compare"
+  | No_print -> "no-print"
+  | Decode_result -> "decode-result"
+  | Secret_flow -> "secret-flow"
+  | Mli_coverage -> "mli-coverage"
+
+let rule_of_name = function
+  | "determinism" -> Some Determinism
+  | "poly-compare" -> Some Poly_compare
+  | "no-print" -> Some No_print
+  | "decode-result" -> Some Decode_result
+  | "secret-flow" -> Some Secret_flow
+  | "mli-coverage" -> Some Mli_coverage
+  | _ -> None
+
+type role = Lib | Decode | Exe
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let role_of_path p =
+  if
+    starts_with ~prefix:"lib/xdr/" p || starts_with ~prefix:"lib/rpc/" p
+    || starts_with ~prefix:"lib/ipsec/" p
+  then Decode
+  else if starts_with ~prefix:"lib/" p then Lib
+  else Exe
+
+let rules_for_role = function
+  | Lib -> [ Determinism; Poly_compare; No_print; Secret_flow; Mli_coverage ]
+  | Decode ->
+    [ Determinism; Poly_compare; No_print; Decode_result; Secret_flow; Mli_coverage ]
+  | Exe -> [ Poly_compare; Secret_flow ]
+
+type finding = { rule : rule; file : string; line : int; col : int; message : string }
+
+let render_finding f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_name f.rule) f.message
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare (rule_name a.rule) (rule_name b.rule) in
+        if c <> 0 then c else String.compare a.message b.message
+
+(* --- suppression comments -------------------------------------------- *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go from
+
+(* "(* discfs-lint: allow rule-a rule-b *)" anywhere in the file; the
+   token list ends at the comment terminator or end of line. *)
+let suppressed_rules path =
+  match read_file path with
+  | None -> []
+  | Some text ->
+    let marker = "discfs-lint:" in
+    let rec collect acc from =
+      match find_sub text marker from with
+      | None -> acc
+      | Some i ->
+        let start = i + String.length marker in
+        let stop =
+          let eol = match String.index_from_opt text start '\n' with Some j -> j | None -> String.length text in
+          match find_sub text "*)" start with
+          | Some j when j < eol -> j
+          | _ -> eol
+        in
+        let words =
+          String.sub text start (stop - start)
+          |> String.split_on_char ' '
+          |> List.concat_map (String.split_on_char ',')
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun w -> w <> "")
+        in
+        let acc =
+          match words with
+          | "allow" :: rules -> List.filter_map rule_of_name rules @ acc
+          | _ -> acc
+        in
+        collect acc stop
+    in
+    collect [] 0
+
+(* --- path and type classification ------------------------------------ *)
+
+(* Dune-wrapped modules appear as "Lib__Module"; stdlib units as
+   "Stdlib.Module". Normalize both to the bare module chain, so
+   "Bignum__Nat.t", "Bignum.Nat.t" and (from inside bignum) "Nat.t"
+   all read "...Nat.t". *)
+let strip_wrap component =
+  let n = String.length component in
+  let rec last_sep i best =
+    if i >= n - 1 then best
+    else if component.[i] = '_' && component.[i + 1] = '_' then last_sep (i + 1) (Some (i + 2))
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | Some j when j < n -> String.sub component j (n - j)
+  | _ -> component
+
+let normalize_name raw =
+  let parts = String.split_on_char '.' raw |> List.map strip_wrap in
+  let parts = match parts with "Stdlib" :: (_ :: _ as rest) -> rest | l -> l in
+  String.concat "." parts
+
+let normalize_path p = normalize_name (Path.name p)
+
+let suffix_matches name suff =
+  name = suff
+  ||
+  let ln = String.length name and ls = String.length suff in
+  ln > ls && String.sub name (ln - ls) ls = suff && name.[ln - ls - 1] = '.'
+
+(* Types whose structural comparison is a correctness or
+   timing-discipline hazard: bignum limb arrays (normalization
+   invariants), crypto key material, KeyNote assertions/principals
+   (case-insensitive key hex, fingerprint identity). *)
+let protected_type_suffixes =
+  [
+    "Nat.t";
+    "Dsa.params";
+    "Dsa.public";
+    "Dsa.private_key";
+    "Dsa.signature";
+    "Dh.secret";
+    "Dh.share";
+    "Secret.t";
+    "Assertion.t";
+    "Ast.principal";
+  ]
+
+(* Types tagged secret: must never reach an observability sink. *)
+let secret_type_suffixes = [ "Dsa.private_key"; "Dh.secret"; "Secret.t" ]
+
+let path_in suffixes p =
+  let n = normalize_path p in
+  List.exists (suffix_matches n) suffixes
+
+let rec type_contains pred depth ty =
+  depth < 12
+  &&
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) -> pred p || List.exists (type_contains pred (depth + 1)) args
+  | Types.Ttuple ts -> List.exists (type_contains pred (depth + 1)) ts
+  | Types.Tarrow (_, a, b, _) ->
+    type_contains pred (depth + 1) a || type_contains pred (depth + 1) b
+  | Types.Tpoly (t, _) -> type_contains pred (depth + 1) t
+  | _ -> false
+
+let first_param ty =
+  match Types.get_desc ty with Types.Tarrow (_, a, _, _) -> Some a | _ -> None
+
+(* --- per-rule ident/call tables --------------------------------------- *)
+
+let deterministic_banned_modules = [ "Random"; "Unix"; "Marshal" ]
+
+let deterministic_banned_values =
+  [ "Sys.time"; "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.randomize" ]
+
+let print_banned_values =
+  [
+    "print_char"; "print_string"; "print_bytes"; "print_int"; "print_float";
+    "print_endline"; "print_newline";
+    "prerr_char"; "prerr_string"; "prerr_bytes"; "prerr_int"; "prerr_float";
+    "prerr_endline"; "prerr_newline";
+    "stdout"; "stderr";
+    "Printf.printf"; "Printf.eprintf";
+    "Format.printf"; "Format.eprintf";
+    "Format.std_formatter"; "Format.err_formatter";
+  ]
+
+let poly_compare_paths = [ "Stdlib.="; "Stdlib.<>"; "Stdlib.compare"; "Stdlib.min"; "Stdlib.max" ]
+
+let in_module m name = starts_with ~prefix:(m ^ ".") name
+
+let base_name name =
+  match String.rindex_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+(* Observability sinks for the secret-flow rule: the tracer, the
+   Format layer, and printer-shaped functions. *)
+let is_sink name =
+  in_module "Trace" name || in_module "Format" name
+  ||
+  let b = base_name name in
+  b = "pp" || b = "show" || starts_with ~prefix:"pp_" b || starts_with ~prefix:"show_" b
+
+(* --- the typed-tree walk ---------------------------------------------- *)
+
+let check_structure ~enabled ~emit str =
+  let open Typedtree in
+  let check_ident e path =
+    let raw = Path.name path in
+    let name = normalize_name raw in
+    if enabled Determinism then begin
+      if List.exists (fun m -> name = m || in_module m name) deterministic_banned_modules then
+        emit Determinism e.exp_loc
+          (Printf.sprintf "%s breaks simulation determinism; draw from the deployment's seeded Drbg/Fault.Rng and Simnet.Clock instead" name)
+      else if List.mem name deterministic_banned_values then
+        emit Determinism e.exp_loc
+          (Printf.sprintf "%s is nondeterministic across runs; use virtual time / seeded hashing" name)
+    end;
+    if enabled No_print then begin
+      if List.mem name print_banned_values || starts_with ~prefix:"Format.print_" name then
+        emit No_print e.exp_loc
+          (Printf.sprintf "%s writes to the process's std streams; library observability goes through Trace" name)
+    end;
+    if enabled Decode_result && name = "failwith" then
+      emit Decode_result e.exp_loc
+        "failwith in a wire-decode layer: attacker-controlled input must fail via result or the layer's decode exception";
+    if enabled Poly_compare && List.mem raw poly_compare_paths then
+      match first_param e.exp_type with
+      | Some t when type_contains (path_in protected_type_suffixes) 0 t ->
+        emit Poly_compare e.exp_loc
+          (Printf.sprintf
+             "polymorphic %s instantiated at a bignum/crypto/keynote type; use the module's dedicated comparison"
+             (base_name raw))
+      | _ -> ()
+  in
+  let check_apply e fn args =
+    match fn.exp_desc with
+    | Texp_ident (path, _, _) ->
+      let name = normalize_path path in
+      if enabled Secret_flow && is_sink name then
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some a when type_contains (path_in secret_type_suffixes) 0 a.exp_type ->
+              emit Secret_flow a.exp_loc
+                (Printf.sprintf "secret-typed value reaches %s; secrets must not flow to trace/format/show sinks" name)
+            | _ -> ())
+          args
+    | _ -> ignore e
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr it e =
+    (match e.exp_desc with
+    | Texp_ident (path, _, _) -> check_ident e path
+    | Texp_apply (fn, args) -> check_apply e fn args
+    | Texp_assert ({ exp_desc = Texp_construct (_, { Types.cstr_name = "false"; _ }, _); _ }, _)
+      when enabled Decode_result ->
+      emit Decode_result e.exp_loc
+        "assert false in a wire-decode layer: attacker-controlled input must fail via result or the layer's decode exception"
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it str
+
+let check_cmt ?role ~source_root cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception e -> Error (cmt_path ^ ": " ^ Printexc.to_string e)
+  | infos -> (
+    let src = match infos.Cmt_format.cmt_sourcefile with Some s -> s | None -> cmt_path in
+    if Filename.check_suffix src "-gen" then Ok [] (* dune's library alias module *)
+    else
+      match infos.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation str ->
+        let role = match role with Some r -> r | None -> role_of_path src in
+        let active = rules_for_role role in
+        let suppressed = suppressed_rules (Filename.concat source_root src) in
+        let enabled r = List.mem r active && not (List.mem r suppressed) in
+        let findings = ref [] in
+        let emit rule (loc : Location.t) message =
+          let p = loc.Location.loc_start in
+          findings :=
+            {
+              rule;
+              file = (if p.Lexing.pos_fname = "" then src else p.Lexing.pos_fname);
+              line = p.Lexing.pos_lnum;
+              col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+              message;
+            }
+            :: !findings
+        in
+        check_structure ~enabled ~emit str;
+        Ok (List.sort_uniq compare_finding !findings)
+      | _ -> Error (cmt_path ^ ": no implementation typed tree"))
+
+(* --- mli coverage (a source-tree rule, not a cmt rule) ----------------- *)
+
+let check_mli_coverage ~source_root dir =
+  let findings = ref [] in
+  let rec walk rel =
+    let full = Filename.concat source_root rel in
+    if Sys.is_directory full then
+      Sys.readdir full |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun name ->
+             if name <> "" && name.[0] <> '.' && name <> "_build" then
+               walk (Filename.concat rel name))
+    else if Filename.check_suffix rel ".ml" then
+      if not (Sys.file_exists (full ^ "i")) then
+        if not (List.mem Mli_coverage (suppressed_rules full)) then
+          findings :=
+            {
+              rule = Mli_coverage;
+              file = rel;
+              line = 1;
+              col = 0;
+              message = "library module has no interface file (.mli)";
+            }
+            :: !findings
+  in
+  if Sys.file_exists (Filename.concat source_root dir) then walk dir;
+  List.sort compare_finding !findings
+
+let scan_cmts root =
+  let acc = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.to_list entries |> List.sort String.compare
+      |> List.iter (fun name ->
+             let full = Filename.concat dir name in
+             if Sys.is_directory full then walk full
+             else if Filename.check_suffix name ".cmt" then acc := full :: !acc)
+  in
+  walk root;
+  List.sort String.compare !acc

@@ -1,0 +1,96 @@
+(** Pass A of [discfs-lint]: invariant rules over the typed ASTs
+    ([.cmt] files) that [dune build] already produces.
+
+    Each rule is named and individually suppressible per file with a
+    comment anywhere in the source:
+
+    {v (* discfs-lint: allow <rule> [<rule> ...] *) v}
+
+    The rule set encodes repo-wide invariants that reviews cannot be
+    trusted to hold as the tree grows:
+
+    - [determinism]: no [Random], [Sys.time], [Unix], [Hashtbl.hash]
+      or [Marshal] in library code — the discrete-event simulation
+      must depend only on seeds and virtual time.
+    - [poly-compare]: no polymorphic [=]/[<>]/[compare]/[min]/[max]
+      instantiated at bignum, crypto or KeyNote key types; structural
+      comparison on crypto values is a correctness and
+      timing-discipline hazard — use the modules' dedicated
+      comparisons ([Nat.equal], [Dsa.pub_equal], [Secret.equal],
+      [Ast.principal_equal], fingerprints).
+    - [no-print]: no [Printf.printf]/[print_*]/stderr output in
+      library code; observability goes through [Trace].
+    - [decode-result]: no bare [failwith]/[assert false] in the
+      wire-decode layers ([lib/xdr], [lib/rpc], [lib/ipsec]) — wire
+      input is attacker-controlled, so decoders signal errors with
+      [result] or the layer's dedicated exception.
+    - [secret-flow]: values of a secret-tagged type
+      ([Dsa.private_key], [Dh.secret], [Secret.t]) must not appear as
+      arguments at [Trace.*], [Format.*] or printer ([pp]/[show])
+      call sites.
+    - [mli-coverage]: every [lib/] module has an interface file. *)
+
+type rule =
+  | Determinism
+  | Poly_compare
+  | No_print
+  | Decode_result
+  | Secret_flow
+  | Mli_coverage
+
+val all_rules : rule list
+
+val rule_name : rule -> string
+(** The kebab-case name used in reports and suppression comments. *)
+
+val rule_of_name : string -> rule option
+
+type role =
+  | Lib  (** general library code: every rule except [decode-result] *)
+  | Decode  (** wire-decode libraries: [Lib] plus [decode-result] *)
+  | Exe
+      (** executables, benches and tests: only [poly-compare] and
+          [secret-flow] (printing and wall-clock use are legitimate
+          there) *)
+
+val role_of_path : string -> role
+(** Role from a repo-relative source path: [lib/xdr], [lib/rpc] and
+    [lib/ipsec] are [Decode]; everything else under [lib/] is [Lib];
+    [bin/], [bench/] and [test/] are [Exe]. *)
+
+val rules_for_role : role -> rule list
+
+type finding = {
+  rule : rule;
+  file : string;  (** repo-relative source path *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+val render_finding : finding -> string
+(** ["file:line:col: [rule] message"]. *)
+
+val compare_finding : finding -> finding -> int
+(** Order by file, line, column, rule — the report order. *)
+
+val check_cmt : ?role:role -> source_root:string -> string -> (finding list, string) result
+(** [check_cmt ~source_root path] loads the [.cmt] at [path] and runs
+    every typed-tree rule applicable to its role (inferred from the
+    recorded source path unless [role] is given). [source_root] is
+    where repo-relative source paths resolve, for reading suppression
+    comments. Returns [Error] if the file is unreadable or holds no
+    implementation tree. *)
+
+val check_mli_coverage : source_root:string -> string -> finding list
+(** [check_mli_coverage ~source_root dir] walks [dir] (repo-relative)
+    for [.ml] files with no matching [.mli]. Suppressible like any
+    other rule. *)
+
+val scan_cmts : string -> string list
+(** Recursively collect the [.cmt] files under a directory, skipping
+    generated library alias modules; sorted. *)
+
+val suppressed_rules : string -> rule list
+(** The rules allowed by [discfs-lint: allow] comments in the given
+    source file (empty if the file cannot be read). *)

@@ -1,0 +1,13 @@
+(* Fixture: abort-style failure in what poses as a wire-decode layer
+   (checked under the decode role). Decoders must return result or
+   raise the layer's dedicated decode exception. *)
+
+let decode_kind = function
+  | 0 -> `Reg
+  | 1 -> `Dir
+  | _ -> failwith "bad kind"
+
+let decode_flag = function
+  | 0 -> false
+  | 1 -> true
+  | _ -> assert false

@@ -1,0 +1,10 @@
+(* Fixture: every flavour of ambient nondeterminism the determinism
+   rule must catch. *)
+
+let roll () = Random.int 6
+
+let wall_clock () = Sys.time ()
+
+let bucket x = Hashtbl.hash x mod 16
+
+let sneaky_serialize x = Marshal.to_string x []

@@ -1,0 +1,12 @@
+(* Fixture: polymorphic comparison instantiated at bignum/crypto
+   types. Each of these must use the module's dedicated comparison. *)
+
+let nat_eq a b = a = Bignum.Nat.add b Bignum.Nat.one
+
+let nat_order (a : Bignum.Nat.t) b = compare a b
+
+let key_differs (k : Dcrypto.Dsa.public) (k' : Dcrypto.Dsa.public) = k <> k'
+
+let latest_share (a : Dcrypto.Dh.share) b = max a b
+
+let sort_assertions (l : Keynote.Assertion.t list) = List.sort compare l

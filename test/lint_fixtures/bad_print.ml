@@ -1,0 +1,10 @@
+(* Fixture: direct std-stream output, which library code must route
+   through Trace instead. *)
+
+let shout () = print_endline "hello"
+
+let formatted n = Printf.printf "%d\n" n
+
+let warn msg = Format.eprintf "warning: %s@." msg
+
+let raw () = output_string stderr "boom\n"

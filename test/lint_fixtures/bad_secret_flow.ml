@@ -1,0 +1,7 @@
+(* Fixture: secret-typed values reaching observability sinks. *)
+
+let pp_key (_ : Format.formatter) (_ : Dcrypto.Dsa.private_key) = ()
+
+let leak_via_format (k : Dcrypto.Dsa.private_key) = Format.asprintf "%a" pp_key k
+
+let leak_wrapped (s : Dcrypto.Secret.t) = Format.asprintf "%a" (fun _ _ -> ()) s

@@ -1,0 +1,12 @@
+(* Fixture: rule-abiding code — dedicated comparisons, no ambient
+   state, errors via result. The linter must report nothing here. *)
+
+(* discfs-lint: allow mli-coverage *)
+
+let nat_eq = Bignum.Nat.equal
+
+let keys_eq = Dcrypto.Dsa.pub_equal
+
+let decode_flag = function 0 -> Ok false | 1 -> Ok true | n -> Error n
+
+let describe () = Printf.sprintf "%d" 42

@@ -1,0 +1,6 @@
+(* Fixture: the same no-print violation as Bad_print, but allowed by
+   a per-file suppression comment — the linter must stay quiet. *)
+
+(* discfs-lint: allow no-print mli-coverage *)
+
+let shout () = print_endline "permitted"

@@ -1,0 +1,286 @@
+(* The static-analysis subsystem under test, both passes.
+
+   Pass A runs the typed-AST rules over the known-bad fixture modules
+   in lint_fixtures/ (compiled normally by dune, so their .cmt files
+   sit in the build tree next to this test) and asserts that every
+   rule fires where seeded, that role selection gates the rule set,
+   and that per-file suppression comments silence a file.
+
+   Pass B builds small delegation graphs in memory — unsigned
+   assertions, signature checking off — and asserts the analyzer's
+   classification of the canonical defect shapes: cycle, escalation,
+   revoked chain, expired and expiry-shadowed chains, plus the clean
+   store. *)
+
+(* --- Pass A: typed-AST rules over the fixture cmts ------------------- *)
+
+let fixture name = "lint_fixtures/.lint_fixtures.objs/byte/lint_fixtures__" ^ name ^ ".cmt"
+
+(* The fixtures live under test/, whose inferred role is Exe; default
+   to the full Lib rule set like the golden report does. *)
+let check ?(role = Lint.Rules.Lib) name =
+  match Lint.Rules.check_cmt ~role ~source_root:".." (fixture name) with
+  | Ok findings -> findings
+  | Error m -> Alcotest.failf "check_cmt %s: %s" name m
+
+let rule_names findings =
+  List.sort_uniq String.compare
+    (List.map (fun f -> Lint.Rules.rule_name f.Lint.Rules.rule) findings)
+
+let test_determinism () =
+  let fs = check "Bad_determinism" in
+  Alcotest.(check (list string)) "only determinism" [ "determinism" ] (rule_names fs);
+  Alcotest.(check int) "Random, Sys.time, Hashtbl.hash, Marshal" 4 (List.length fs)
+
+let test_no_print () =
+  let fs = check "Bad_print" in
+  Alcotest.(check (list string)) "only no-print" [ "no-print" ] (rule_names fs);
+  Alcotest.(check int) "print_endline, printf, eprintf, stderr" 4 (List.length fs)
+
+let test_poly_compare () =
+  let fs = check "Bad_poly_compare" in
+  Alcotest.(check (list string)) "only poly-compare" [ "poly-compare" ] (rule_names fs);
+  Alcotest.(check int) "=, compare, <>, max, first-class compare" 5 (List.length fs)
+
+let test_secret_flow () =
+  let fs = check "Bad_secret_flow" in
+  Alcotest.(check (list string)) "only secret-flow" [ "secret-flow" ] (rule_names fs);
+  Alcotest.(check bool) "both leak sites flagged" true (List.length fs >= 2)
+
+let test_decode_result () =
+  let fs = check ~role:Lint.Rules.Decode "Bad_decode" in
+  Alcotest.(check (list string)) "only decode-result" [ "decode-result" ] (rule_names fs);
+  Alcotest.(check int) "failwith and assert false" 2 (List.length fs)
+
+let test_role_gating () =
+  (* decode-result only applies to wire-decode layers... *)
+  Alcotest.(check int) "bare failwith fine outside decode paths" 0
+    (List.length (check ~role:Lint.Rules.Lib "Bad_decode"));
+  (* ...and executables may print and use ambient state. *)
+  Alcotest.(check int) "determinism not enforced on executables" 0
+    (List.length (check ~role:Lint.Rules.Exe "Bad_determinism"));
+  Alcotest.(check int) "no-print not enforced on executables" 0
+    (List.length (check ~role:Lint.Rules.Exe "Bad_print"))
+
+let test_suppression () =
+  Alcotest.(check int) "allow comment silences the file" 0
+    (List.length (check "Suppressed"));
+  Alcotest.(check (list string)) "suppression parsed from source"
+    [ "mli-coverage"; "no-print" ]
+    (List.sort_uniq String.compare
+       (List.map Lint.Rules.rule_name
+          (Lint.Rules.suppressed_rules "../test/lint_fixtures/suppressed.ml")))
+
+let test_clean () =
+  Alcotest.(check int) "clean fixture is clean" 0 (List.length (check "Clean"))
+
+let test_rule_names_roundtrip () =
+  List.iter
+    (fun r ->
+      match Lint.Rules.rule_of_name (Lint.Rules.rule_name r) with
+      | Some r' when r' = r -> ()
+      | _ -> Alcotest.failf "rule name %s does not round-trip" (Lint.Rules.rule_name r))
+    Lint.Rules.all_rules;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Lint.Rules.rule_of_name "no-such-rule" = None)
+
+let test_mli_coverage () =
+  Alcotest.(check int) "lib/ fully covered" 0
+    (List.length (Lint.Rules.check_mli_coverage ~source_root:".." "lib"));
+  (* A synthetic tree with a bare .ml must be flagged. *)
+  let dir = "mli_cov_tmp" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "naked.ml") in
+  output_string oc "let x = 1\n";
+  close_out oc;
+  let fs = Lint.Rules.check_mli_coverage ~source_root:"." dir in
+  Alcotest.(check (list string)) "missing interface flagged" [ "mli-coverage" ]
+    (rule_names fs)
+
+(* --- Pass B: credential-graph analysis -------------------------------- *)
+
+let p name = "dsa-hex:" ^ name
+
+(* Unsigned credential text; the analyzer runs with signature checks
+   off, mirroring how the compliance tests build their fixtures. *)
+let cred ?time_bound ~auth ~lic ~grant () =
+  let guard =
+    match time_bound with
+    | None -> "(app_domain == \"DisCFS\")"
+    | Some t -> Printf.sprintf "(app_domain == \"DisCFS\") && (time < %g)" t
+  in
+  Keynote.Assertion.parse
+    (Printf.sprintf
+       "KeyNote-Version: 2\nAuthorizer: \"%s\"\nLicensees: \"%s\"\nConditions: %s -> \"%s\";\n"
+       auth lic guard grant)
+
+let policy_to principal =
+  Keynote.Assertion.policy
+    ~licensees:(Printf.sprintf "\"%s\"" principal)
+    ~conditions:"app_domain == \"DisCFS\" -> \"RWX\";" ()
+
+let unsigned = { Lint.Credgraph.default_config with verify_signatures = false }
+
+let analyze ?(config = unsigned) credentials =
+  Lint.Credgraph.analyze ~config ~policy:[ policy_to (p "aa") ] ~credentials ()
+
+let kind_names report =
+  List.map Lint.Credgraph.kind_name (Lint.Credgraph.kinds report)
+
+let test_graph_clean () =
+  let r =
+    analyze
+      [
+        cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" ();
+        cred ~auth:(p "bb") ~lic:(p "cc") ~grant:"R" ();
+      ]
+  in
+  Alcotest.(check (list string)) "no findings" [] (kind_names r);
+  Alcotest.(check int) "all principals reachable" r.Lint.Credgraph.n_principals
+    r.Lint.Credgraph.n_reachable;
+  Alcotest.(check bool) "render says clean" true
+    (let s = Lint.Credgraph.render r in
+     String.length s >= 6 && String.sub s (String.length s - 6) 5 = "clean")
+
+let test_graph_cycle () =
+  let r =
+    analyze
+      [
+        cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" ();
+        cred ~auth:(p "bb") ~lic:(p "aa") ~grant:"R" ();
+      ]
+  in
+  Alcotest.(check (list string)) "cycle reported" [ "cycle" ] (kind_names r)
+
+let test_graph_escalation () =
+  let r =
+    analyze
+      [
+        cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" ();
+        cred ~auth:(p "bb") ~lic:(p "cc") ~grant:"RWX" ();
+      ]
+  in
+  Alcotest.(check (list string)) "escalation reported" [ "escalation" ] (kind_names r)
+
+let test_graph_unreachable () =
+  let r = analyze [ cred ~auth:(p "dd") ~lic:(p "ee") ~grant:"R" () ] in
+  Alcotest.(check (list string)) "unreachable reported" [ "unreachable" ] (kind_names r)
+
+let test_graph_revoked_chain () =
+  let config = { unsigned with Lint.Credgraph.revoked_keys = [ p "bb" ] } in
+  let r =
+    analyze ~config
+      [
+        cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" ();
+        cred ~auth:(p "bb") ~lic:(p "cc") ~grant:"R" ();
+        cred ~auth:(p "cc") ~lic:(p "dd") ~grant:"X" ();
+      ]
+  in
+  Alcotest.(check (list string)) "revoked issuer poisons the chain below"
+    [ "revoked"; "revoked-chain" ]
+    (List.sort_uniq String.compare (kind_names r))
+
+let test_graph_revoked_fingerprint () =
+  let c1 = cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" () in
+  let config =
+    {
+      unsigned with
+      Lint.Credgraph.revoked_fingerprints = [ Keynote.Assertion.fingerprint c1 ];
+    }
+  in
+  let r = analyze ~config [ c1; cred ~auth:(p "bb") ~lic:(p "cc") ~grant:"R" () ] in
+  Alcotest.(check (list string)) "fingerprint revocation poisons the chain"
+    [ "revoked"; "revoked-chain" ]
+    (List.sort_uniq String.compare (kind_names r))
+
+let test_graph_expired () =
+  let config = { unsigned with Lint.Credgraph.now = Some 200. } in
+  let r =
+    analyze ~config [ cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" ~time_bound:100. () ]
+  in
+  Alcotest.(check (list string)) "expired reported" [ "expired" ] (kind_names r)
+
+let test_graph_expiry_shadowed () =
+  let config = { unsigned with Lint.Credgraph.now = Some 50. } in
+  let r =
+    analyze ~config
+      [
+        cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" ~time_bound:100. ();
+        cred ~auth:(p "bb") ~lic:(p "cc") ~grant:"R" ~time_bound:200. ();
+      ]
+  in
+  Alcotest.(check (list string)) "upstream deadline shadows the leaf's"
+    [ "expiry-shadowed" ] (kind_names r)
+
+let test_graph_bad_signature () =
+  (* With verification on, an unsigned credential is inadmissible —
+     reported, and excluded from the graph (so no secondary noise). *)
+  let r =
+    analyze ~config:Lint.Credgraph.default_config
+      [ cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" () ]
+  in
+  Alcotest.(check (list string)) "bad signature reported" [ "bad-signature" ]
+    (kind_names r)
+
+(* --- Pass B: on-disk store loading ------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let test_store_roundtrip () =
+  let dir = "credstore_tmp" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let c1 = cred ~auth:(p "aa") ~lic:(p "bb") ~grant:"RW" () in
+  write_file (Filename.concat dir "POLICY")
+    (Keynote.Assertion.to_text (policy_to (p "aa")));
+  write_file (Filename.concat dir "cred1") (Keynote.Assertion.to_text c1);
+  write_file (Filename.concat dir "cred2")
+    (Keynote.Assertion.to_text (cred ~auth:(p "bb") ~lic:(p "cc") ~grant:"R" ()));
+  write_file (Filename.concat dir "revoked.txt")
+    (Keynote.Assertion.fingerprint c1 ^ "\n");
+  write_file (Filename.concat dir "README") "not an assertion\n";
+  match Lint.Credgraph.run_dir ~config:unsigned dir with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    Alcotest.(check int) "one policy assertion" 1 r.Lint.Credgraph.n_policy;
+    Alcotest.(check int) "two credentials (README skipped)" 2
+      r.Lint.Credgraph.n_credentials;
+    Alcotest.(check (list string)) "store's own revocation list applied"
+      [ "revoked"; "revoked-chain" ]
+      (List.sort_uniq String.compare (kind_names r))
+
+let test_store_parse_error () =
+  let dir = "credstore_bad_tmp" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  write_file (Filename.concat dir "garbage") "Authorizer\n";
+  Alcotest.(check bool) "parse error surfaces as Error" true
+    (match Lint.Credgraph.run_dir ~config:unsigned dir with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let suite =
+  [
+    ("pass-a: determinism", `Quick, test_determinism);
+    ("pass-a: no-print", `Quick, test_no_print);
+    ("pass-a: poly-compare", `Quick, test_poly_compare);
+    ("pass-a: secret-flow", `Quick, test_secret_flow);
+    ("pass-a: decode-result", `Quick, test_decode_result);
+    ("pass-a: role gating", `Quick, test_role_gating);
+    ("pass-a: suppression comment", `Quick, test_suppression);
+    ("pass-a: clean fixture", `Quick, test_clean);
+    ("pass-a: rule names round-trip", `Quick, test_rule_names_roundtrip);
+    ("pass-a: mli coverage", `Quick, test_mli_coverage);
+    ("pass-b: clean store", `Quick, test_graph_clean);
+    ("pass-b: cycle", `Quick, test_graph_cycle);
+    ("pass-b: escalation", `Quick, test_graph_escalation);
+    ("pass-b: unreachable", `Quick, test_graph_unreachable);
+    ("pass-b: revoked key chain", `Quick, test_graph_revoked_chain);
+    ("pass-b: revoked fingerprint chain", `Quick, test_graph_revoked_fingerprint);
+    ("pass-b: expired", `Quick, test_graph_expired);
+    ("pass-b: expiry-shadowed", `Quick, test_graph_expiry_shadowed);
+    ("pass-b: bad signature", `Quick, test_graph_bad_signature);
+    ("pass-b: on-disk store", `Quick, test_store_roundtrip);
+    ("pass-b: store parse error", `Quick, test_store_parse_error);
+  ]

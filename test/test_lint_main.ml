@@ -1,0 +1,4 @@
+(* Entry point for the static-analysis suite; see test/dune for why
+   this is not part of test_main. *)
+
+let () = Alcotest.run "discfs-lint" [ ("lint", Test_lint.suite) ]
