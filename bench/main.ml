@@ -12,6 +12,8 @@
           dune exec bench/main.exe -- latency_breakdown  (per-layer virtual time)
           dune exec bench/main.exe -- cache_ablation [--json PATH]
                                                          (caching stack cold/warm)
+          dune exec bench/main.exe -- concurrency_scaling [--json PATH]
+                                                         (multi-client worker pool)
           dune exec bench/main.exe -- trace              (JSONL span dump)
 *)
 
@@ -377,6 +379,7 @@ type ablation_pass = {
   ap_bcache : int * int; (* hits, misses *)
   ap_policy : int * int;
   ap_attr : int * int;
+  ap_name : int * int;
 }
 
 (* One configuration: build the tree, boot the server cold (the build
@@ -416,6 +419,7 @@ let ablation_config ~config ~cache_blocks ~cache_size ~attr_cache spec =
         ap_bcache = (c "cache.buffer.hits", c "cache.buffer.misses");
         ap_policy = (c "cache.policy.hits", c "cache.policy.misses");
         ap_attr = (c "cache.attr.hits", c "cache.attr.misses");
+        ap_name = (c "cache.name.hits", c "cache.name.misses");
       }
     in
     let cold = pass "cold" in
@@ -440,13 +444,14 @@ let cache_ablation_rows spec =
 let render_ablation rows =
   let buf = Buffer.create 2048 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "  %-16s %-5s %9s %10s %9s %13s %13s %13s" "config" "pass" "walk (s)" "disk (s)"
-    "keynote" "bcache h/m" "policy h/m" "attr h/m";
+  line "  %-16s %-5s %9s %10s %9s %13s %13s %13s %13s" "config" "pass" "walk (s)" "disk (s)"
+    "keynote" "bcache h/m" "policy h/m" "attr h/m" "name h/m";
   List.iter
     (fun r ->
       let pair (h, m) = Printf.sprintf "%d/%d" h m in
-      line "  %-16s %-5s %9.2f %10.6f %9.6f %13s %13s %13s" r.ap_config r.ap_pass r.ap_seconds
-        r.ap_disk_self r.ap_keynote_self (pair r.ap_bcache) (pair r.ap_policy) (pair r.ap_attr))
+      line "  %-16s %-5s %9.2f %10.6f %9.6f %13s %13s %13s %13s" r.ap_config r.ap_pass
+        r.ap_seconds r.ap_disk_self r.ap_keynote_self (pair r.ap_bcache) (pair r.ap_policy)
+        (pair r.ap_attr) (pair r.ap_name))
     rows;
   Buffer.contents buf
 
@@ -455,14 +460,18 @@ let ablation_json rows =
   Buffer.add_string buf "{\n  \"workload\": \"figure-12 search walk\",\n  \"passes\": [\n";
   List.iteri
     (fun i r ->
-      let bh, bm = r.ap_bcache and ph, pm = r.ap_policy and ah, am = r.ap_attr in
+      let bh, bm = r.ap_bcache
+      and ph, pm = r.ap_policy
+      and ah, am = r.ap_attr
+      and nh, nm = r.ap_name in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"config\": %S, \"pass\": %S, \"walk_seconds\": %.6f, \"disk_self_seconds\": \
             %.6f, \"keynote_self_seconds\": %.6f, \"bcache_hits\": %d, \"bcache_misses\": %d, \
             \"policy_hits\": %d, \"policy_misses\": %d, \"attr_hits\": %d, \"attr_misses\": \
-            %d}%s\n"
+            %d, \"name_hits\": %d, \"name_misses\": %d}%s\n"
            r.ap_config r.ap_pass r.ap_seconds r.ap_disk_self r.ap_keynote_self bh bm ph pm ah am
+           nh nm
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -495,6 +504,179 @@ let cache_ablation ?json spec =
   | Some path ->
     let oc = open_out path in
     output_string oc (ablation_json rows);
+    close_out oc;
+    say "  wrote %s" path
+
+(* ------------------------------------------------------------------ *)
+(* C2: concurrency scaling — closed-loop multi-client workload over    *)
+(* the worker-pooled server (Simnet.Sched + bounded RPC queue).        *)
+(* Everything is virtual time and seeded, so both tables reproduce     *)
+(* byte-for-byte across runs.                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Sched = Simnet.Sched
+
+type conc_row = {
+  cn_clients : int;
+  cn_workers : int;
+  cn_depth : int;
+  cn_done : int;
+  cn_failures : int;
+  cn_seconds : float;
+  cn_throughput : float; (* completed ops per virtual second *)
+  cn_mean_lat : float;
+  cn_max_lat : float;
+  cn_qpeak : int;
+  cn_rejects : int;
+  cn_retrans : int;
+  cn_mean_wait : float; (* mean virtual seconds a job sat queued *)
+}
+
+let conc_ops_per_client = 12
+
+(* One deployment: serial setup (attach + per-client 8 KB file), then
+   a closed loop per client — GETATTR / READ 2 KB / WRITE 1 KB mixed
+   1:2:1 — all overlapping as scheduler processes. Timeouts are
+   counted, not fatal: past the knee an undersized queue sheds load
+   and the at-least-once retry absorbs it. *)
+let conc_run ~clients ~workers ~depth =
+  let d = Discfs.Deploy.make ~workers ~queue_depth:depth ~seed:"conc-scaling" () in
+  let sched = Option.get d.Discfs.Deploy.sched in
+  let conns =
+    List.init clients (fun i ->
+        let c = Discfs.Deploy.attach d ~identity:d.Discfs.Deploy.admin ~uid:i () in
+        let fh, _, _ =
+          Discfs.Client.create c ~dir:(Discfs.Client.root c) (Printf.sprintf "c%d.dat" i) ()
+        in
+        Nfs.Client.write_all (Discfs.Client.nfs c) fh (String.make 8192 'x');
+        (c, fh))
+  in
+  let clock = d.Discfs.Deploy.clock in
+  let t0 = Clock.now clock in
+  let done_ops = ref 0 and failures = ref 0 in
+  let lat_sum = ref 0.0 and lat_max = ref 0.0 in
+  List.iter
+    (fun (c, fh) ->
+      Sched.spawn sched (fun () ->
+          let nfs = Discfs.Client.nfs c in
+          for op = 0 to conc_ops_per_client - 1 do
+            let t = Clock.now clock in
+            (try
+               (match op mod 4 with
+               | 0 ->
+                 ignore (Nfs.Client.write nfs fh ~off:(op * 1024 mod 8192) (String.make 1024 'y'))
+               | 1 -> ignore (Nfs.Client.getattr nfs fh)
+               | _ -> ignore (Nfs.Client.read nfs fh ~off:(op * 2048 mod 8192) ~count:2048));
+               incr done_ops
+             with Oncrpc.Rpc.Rpc_timeout _ -> incr failures);
+            let dt = Clock.now clock -. t in
+            lat_sum := !lat_sum +. dt;
+            if dt > !lat_max then lat_max := dt
+          done))
+    conns;
+  Sched.run sched;
+  let seconds = Clock.now clock -. t0 in
+  let get k = Simnet.Stats.get d.Discfs.Deploy.stats k in
+  let wait = Trace.Metrics.histogram d.Discfs.Deploy.metrics "rpc.queue.wait" in
+  let wait_n = Trace.Metrics.count wait in
+  {
+    cn_clients = clients;
+    cn_workers = workers;
+    cn_depth = depth;
+    cn_done = !done_ops;
+    cn_failures = !failures;
+    cn_seconds = seconds;
+    cn_throughput = (if seconds = 0.0 then 0.0 else float_of_int !done_ops /. seconds);
+    cn_mean_lat = (if !done_ops = 0 then 0.0 else !lat_sum /. float_of_int !done_ops);
+    cn_max_lat = !lat_max;
+    cn_qpeak = Oncrpc.Rpc.queue_peak d.Discfs.Deploy.rpc;
+    cn_rejects = get "rpc.queue_rejects";
+    cn_retrans = get "rpc.retransmits";
+    cn_mean_wait =
+      (if wait_n = 0 then 0.0 else Trace.Metrics.sum wait /. float_of_int wait_n);
+  }
+
+let conc_rows () =
+  let client_sweep =
+    List.map (fun n -> conc_run ~clients:n ~workers:4 ~depth:64) [ 1; 2; 4; 8; 16; 32 ]
+  in
+  let worker_sweep =
+    List.map (fun w -> conc_run ~clients:16 ~workers:w ~depth:8) [ 1; 2; 4; 8 ]
+  in
+  (client_sweep, worker_sweep)
+
+let render_conc (client_sweep, worker_sweep) =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let header () =
+    line "  %-4s %-4s %-6s %6s %5s %9s %10s %10s %10s %6s %8s %8s %10s" "N" "wrk" "depth"
+      "ops" "fail" "time(s)" "ops/s" "mean(ms)" "max(ms)" "qpeak" "rejects" "retrans"
+      "qwait(ms)"
+  in
+  let row r =
+    line "  %-4d %-4d %-6d %6d %5d %9.3f %10.1f %10.3f %10.3f %6d %8d %8d %10.3f"
+      r.cn_clients r.cn_workers r.cn_depth r.cn_done r.cn_failures r.cn_seconds
+      r.cn_throughput (r.cn_mean_lat *. 1e3) (r.cn_max_lat *. 1e3) r.cn_qpeak r.cn_rejects
+      r.cn_retrans (r.cn_mean_wait *. 1e3)
+  in
+  line "  -- client sweep (workers fixed at 4, queue depth 64) --";
+  header ();
+  List.iter row client_sweep;
+  line "  -- worker sweep (16 clients, queue depth 8: past the knee the";
+  line "     queue sheds load and retransmission absorbs it) --";
+  header ();
+  List.iter row worker_sweep;
+  Buffer.contents buf
+
+let conc_json (client_sweep, worker_sweep) =
+  let buf = Buffer.create 2048 in
+  let rows name rows_ =
+    Buffer.add_string buf (Printf.sprintf "  %S: [\n" name);
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"clients\": %d, \"workers\": %d, \"queue_depth\": %d, \"ops_done\": %d, \
+              \"failures\": %d, \"virtual_seconds\": %.6f, \"ops_per_second\": %.3f, \
+              \"mean_latency_s\": %.6f, \"max_latency_s\": %.6f, \"queue_peak\": %d, \
+              \"queue_rejects\": %d, \"retransmits\": %d, \"mean_queue_wait_s\": %.6f}%s\n"
+             r.cn_clients r.cn_workers r.cn_depth r.cn_done r.cn_failures r.cn_seconds
+             r.cn_throughput r.cn_mean_lat r.cn_max_lat r.cn_qpeak r.cn_rejects r.cn_retrans
+             r.cn_mean_wait
+             (if i = List.length rows_ - 1 then "" else ",")))
+      rows_;
+    Buffer.add_string buf "  ]"
+  in
+  Buffer.add_string buf
+    "{\n  \"workload\": \"closed-loop GETATTR/READ/WRITE mix, 12 ops per client\",\n";
+  rows "client_sweep" client_sweep;
+  Buffer.add_string buf ",\n";
+  rows "worker_sweep" worker_sweep;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let concurrency_scaling ?json () =
+  say "@.Concurrency scaling C2: N clients in closed loop over the pooled server";
+  say "  (bounded request queue, per-client FIFO fairness, workers drain";
+  say "   round-robin; queue-full drops are absorbed by RPC retransmission.";
+  say "   All times virtual; the table is byte-reproducible.)";
+  let rows = conc_rows () in
+  let first = render_conc rows in
+  print_string first;
+  (* Fresh deployments, same seeds: the table must reproduce exactly. *)
+  let second = render_conc (conc_rows ()) in
+  say "  deterministic across two runs: %s" (if String.equal first second then "yes" else "NO");
+  (let by_workers = snd rows in
+   match (List.hd by_workers, List.nth by_workers (List.length by_workers - 1)) with
+   | w1, wn ->
+     say "  worker scaling (16 clients): %.1f ops/s @1 -> %.1f ops/s @%d (speedup %.2fx)"
+       w1.cn_throughput wn.cn_throughput wn.cn_workers
+       (if w1.cn_throughput = 0.0 then 0.0 else wn.cn_throughput /. w1.cn_throughput));
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (conc_json rows);
     close_out oc;
     say "  wrote %s" path
 
@@ -689,6 +871,18 @@ let () =
       find argv
     in
     cache_ablation ?json spec;
+    say "@.done."
+  end
+  else if has "concurrency_scaling" then begin
+    let json =
+      let rec find = function
+        | "--json" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find argv
+    in
+    concurrency_scaling ?json ();
     say "@.done."
   end
   else if has "trace" then trace_dump ()

@@ -22,12 +22,18 @@ type t = {
   strict_handles : bool option;
   trace : Trace.t;
   metrics : Trace.Metrics.t;
+  sched : Simnet.Sched.t option;
+  workers : int option;
+  queue_depth : int;
   mutable restarts : int;
 }
 
+let default_queue_depth = 64
+
 let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
     ?(ninodes = 8192) ?(cache_size = 128) ?(cache_blocks = 0) ?readahead ?hour
-    ?strict_handles ?(seed = "discfs-deploy") ?fault ?(tracing = false) () =
+    ?strict_handles ?(seed = "discfs-deploy") ?fault ?(tracing = false) ?workers
+    ?(queue_depth = default_queue_depth) () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let metrics = Trace.Metrics.create () in
@@ -54,6 +60,19 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
   in
   let rpc = Rpc.server ~clock ~cost ~stats in
   Rpc.set_trace rpc trace;
+  Rpc.set_metrics rpc (Some metrics);
+  (* A worker count turns the deployment concurrent: a scheduler owns
+     the clock and the RPC server runs a bounded queue. Serial
+     deployments get no scheduler and behave exactly as before. *)
+  let sched =
+    match workers with
+    | None -> None
+    | Some w ->
+      let sched = Simnet.Sched.create ~clock in
+      Simnet.Sched.attach_clock sched;
+      Rpc.set_pool rpc ~sched ~workers:w ~queue_depth;
+      Some sched
+  in
   Server.attach_rpc server rpc;
   {
     clock;
@@ -71,6 +90,9 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
     strict_handles;
     trace;
     metrics;
+    sched;
+    workers;
+    queue_depth;
     restarts = 0;
   }
 
@@ -92,6 +114,10 @@ let crash_and_restart t =
   let state = Server.save_state t.server in
   let server_key = Server.server_key t.server in
   Rpc.shutdown t.rpc;
+  (* Packets parked in the link's reorder hold slots die with the
+     process — flush them now so they are accounted as drops instead
+     of lingering (invisibly) into the next incarnation. *)
+  ignore (Link.quiesce t.link);
   (* The buffer cache is server memory: a new incarnation boots cold.
      (Fs.load drops it again via Blockdev.restore; this makes the
      semantics explicit and independent of the load path.) *)
@@ -109,6 +135,10 @@ let crash_and_restart t =
   | Error m -> failwith ("crash_and_restart: state reload failed: " ^ m));
   let rpc = Rpc.server ~clock:t.clock ~cost:t.cost ~stats:t.stats in
   Rpc.set_trace rpc t.trace;
+  Rpc.set_metrics rpc (Some t.metrics);
+  (match (t.sched, t.workers) with
+  | Some sched, Some w -> Rpc.set_pool rpc ~sched ~workers:w ~queue_depth:t.queue_depth
+  | _ -> ());
   Server.attach_rpc server rpc;
   t.server <- server;
   t.rpc <- rpc

@@ -25,6 +25,9 @@ type t = {
   strict_handles : bool option;
   trace : Trace.t;
   metrics : Trace.Metrics.t;
+  sched : Simnet.Sched.t option;
+  workers : int option;
+  queue_depth : int;
   mutable restarts : int;
 }
 
@@ -41,6 +44,8 @@ val make :
   ?seed:string ->
   ?fault:Simnet.Fault.t ->
   ?tracing:bool ->
+  ?workers:int ->
+  ?queue_depth:int ->
   unit ->
   t
 (** Defaults: 2001-era cost model, 8 K blocks, 16 Ki blocks (128 MB
@@ -58,7 +63,20 @@ val make :
     deployment's virtual clock and threads it through every layer
     (link, disk, RPC, ESP, NFS, KeyNote, policy cache), backed by
     the [metrics] registry; with it off, [trace] is {!Trace.null}
-    and instrumentation is free. *)
+    and instrumentation is free.
+
+    [workers] (default off) makes the deployment {e concurrent}: a
+    {!Simnet.Sched} discrete-event scheduler takes ownership of the
+    clock and the RPC server runs a bounded request queue
+    ([queue_depth], default 64) drained by that many worker
+    processes with per-client FIFO fairness and queue-full
+    backpressure (see {!Oncrpc.Rpc.set_pool}). Client calls issued
+    from inside scheduler processes ([Simnet.Sched.spawn] +
+    [Simnet.Sched.run]) then overlap in virtual time; calls made
+    from plain code keep the serial semantics, so setup and
+    single-client workloads are unchanged. Survives
+    {!crash_and_restart} (the new incarnation gets a fresh, empty
+    queue on the same scheduler). *)
 
 val new_identity : t -> Dcrypto.Dsa.private_key
 (** Generate a fresh user key pair from the testbed's DRBG. *)

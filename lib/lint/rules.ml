@@ -8,6 +8,7 @@
 
 type rule =
   | Determinism
+  | Strict_determinism
   | Poly_compare
   | No_print
   | Decode_result
@@ -15,10 +16,19 @@ type rule =
   | Mli_coverage
 
 let all_rules =
-  [ Determinism; Poly_compare; No_print; Decode_result; Secret_flow; Mli_coverage ]
+  [
+    Determinism;
+    Strict_determinism;
+    Poly_compare;
+    No_print;
+    Decode_result;
+    Secret_flow;
+    Mli_coverage;
+  ]
 
 let rule_name = function
   | Determinism -> "determinism"
+  | Strict_determinism -> "strict-determinism"
   | Poly_compare -> "poly-compare"
   | No_print -> "no-print"
   | Decode_result -> "decode-result"
@@ -27,6 +37,7 @@ let rule_name = function
 
 let rule_of_name = function
   | "determinism" -> Some Determinism
+  | "strict-determinism" -> Some Strict_determinism
   | "poly-compare" -> Some Poly_compare
   | "no-print" -> Some No_print
   | "decode-result" -> Some Decode_result
@@ -86,9 +97,12 @@ let find_sub s sub from =
   let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
   go from
 
-(* "(* discfs-lint: allow rule-a rule-b *)" anywhere in the file; the
-   token list ends at the comment terminator or end of line. *)
-let suppressed_rules path =
+(* "(* discfs-lint: <keyword> rule-a rule-b *)" anywhere in the file;
+   the token list ends at the comment terminator or end of line.
+   [allow] suppresses a rule for the file, [require] opts the file
+   into one the role would not apply (the scheduler uses it to demand
+   strict-determinism on itself). *)
+let directive_rules ~keyword path =
   match read_file path with
   | None -> []
   | Some text ->
@@ -113,12 +127,15 @@ let suppressed_rules path =
         in
         let acc =
           match words with
-          | "allow" :: rules -> List.filter_map rule_of_name rules @ acc
+          | kw :: rules when kw = keyword -> List.filter_map rule_of_name rules @ acc
           | _ -> acc
         in
         collect acc stop
     in
     collect [] 0
+
+let suppressed_rules path = directive_rules ~keyword:"allow" path
+let required_rules path = directive_rules ~keyword:"require" path
 
 (* --- path and type classification ------------------------------------ *)
 
@@ -196,6 +213,21 @@ let deterministic_banned_modules = [ "Random"; "Unix"; "Marshal" ]
 let deterministic_banned_values =
   [ "Sys.time"; "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.randomize" ]
 
+(* Scheduler-critical modules additionally ban *unordered* hash-table
+   iteration: the event order must be a pure function of the schedule
+   calls, and Hashtbl's bucket layout depends on insertion history
+   (and, if anyone flips H.randomize, on the process seed). Opted
+   into per file with "(* discfs-lint: require strict-determinism *)";
+   [strict_determinism_paths] pins the modules that must never drop
+   the marker. *)
+let strict_banned_values =
+  [
+    "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+  ]
+
+let strict_determinism_paths = [ "lib/simnet/sched.ml" ]
+
 let print_banned_values =
   [
     "print_char"; "print_string"; "print_bytes"; "print_int"; "print_float";
@@ -240,6 +272,11 @@ let check_structure ~enabled ~emit str =
         emit Determinism e.exp_loc
           (Printf.sprintf "%s is nondeterministic across runs; use virtual time / seeded hashing" name)
     end;
+    if enabled Strict_determinism && List.mem name strict_banned_values then
+      emit Strict_determinism e.exp_loc
+        (Printf.sprintf
+           "%s iterates in hash-bucket order in a strict-determinism module; event order must not depend on table layout — iterate a sorted key list"
+           name);
     if enabled No_print then begin
       if List.mem name print_banned_values || starts_with ~prefix:"Format.print_" name then
         emit No_print e.exp_loc
@@ -298,8 +335,15 @@ let check_cmt ?role ~source_root cmt_path =
       | Cmt_format.Implementation str ->
         let role = match role with Some r -> r | None -> role_of_path src in
         let active = rules_for_role role in
-        let suppressed = suppressed_rules (Filename.concat source_root src) in
-        let enabled r = List.mem r active && not (List.mem r suppressed) in
+        let source_path = Filename.concat source_root src in
+        let suppressed = suppressed_rules source_path in
+        let required =
+          (if List.mem src strict_determinism_paths then [ Strict_determinism ] else [])
+          @ required_rules source_path
+        in
+        let enabled r =
+          (List.mem r active || List.mem r required) && not (List.mem r suppressed)
+        in
         let findings = ref [] in
         let emit rule (loc : Location.t) message =
           let p = loc.Location.loc_start in

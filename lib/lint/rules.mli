@@ -12,6 +12,12 @@
     - [determinism]: no [Random], [Sys.time], [Unix], [Hashtbl.hash]
       or [Marshal] in library code — the discrete-event simulation
       must depend only on seeds and virtual time.
+    - [strict-determinism]: additionally, no unordered hash-table
+      iteration ([Hashtbl.iter]/[fold]/[to_seq] and kin) — bucket order
+      depends on insertion history, so any event ordering derived
+      from it would not replay. Applied only to scheduler-critical
+      modules: [lib/simnet/sched.ml] is pinned by path, and any file
+      can opt in with {v (* discfs-lint: require strict-determinism *) v}
     - [poly-compare]: no polymorphic [=]/[<>]/[compare]/[min]/[max]
       instantiated at bignum, crypto or KeyNote key types; structural
       comparison on crypto values is a correctness and
@@ -32,6 +38,7 @@
 
 type rule =
   | Determinism
+  | Strict_determinism
   | Poly_compare
   | No_print
   | Decode_result
@@ -94,3 +101,8 @@ val scan_cmts : string -> string list
 val suppressed_rules : string -> rule list
 (** The rules allowed by [discfs-lint: allow] comments in the given
     source file (empty if the file cannot be read). *)
+
+val required_rules : string -> rule list
+(** The rules demanded by [discfs-lint: require] comments in the given
+    source file — applied on top of the role's rule set (empty if the
+    file cannot be read). *)

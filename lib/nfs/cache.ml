@@ -40,18 +40,22 @@ let key (fh : Proto.fh) = (fh.Proto.ino, fh.Proto.gen)
 
 let fresh t expiry = Clock.now t.clock < expiry
 
-let hit t =
+(* The aggregate counters (t.hits / t.misses / t.expiries) cover both
+   caches; the metrics registry splits them by kind ("attr" for
+   getattr traffic, "name" for lookup traffic) so the two caches'
+   behaviour can be tuned independently. *)
+let hit t ~kind =
   t.hits <- t.hits + 1;
-  metric t "cache.attr.hits"
+  metric t (Printf.sprintf "cache.%s.hits" kind)
 
 (* A miss is either cold (never cached) or an expiry (cached but past
    its TTL); the distinction matters when tuning TTLs, so count both. *)
-let miss t ~expired =
+let miss t ~kind ~expired =
   t.misses <- t.misses + 1;
-  metric t "cache.attr.misses";
+  metric t (Printf.sprintf "cache.%s.misses" kind);
   if expired then begin
     t.expiries <- t.expiries + 1;
-    metric t "cache.attr.expiries"
+    metric t (Printf.sprintf "cache.%s.expiries" kind)
   end
 
 let store_attr t fh attr =
@@ -60,10 +64,10 @@ let store_attr t fh attr =
 let getattr t fh =
   match Hashtbl.find_opt t.attrs (key fh) with
   | Some (attr, expiry) when fresh t expiry ->
-    hit t;
+    hit t ~kind:"attr";
     attr
   | found ->
-    miss t ~expired:(found <> None);
+    miss t ~kind:"attr" ~expired:(found <> None);
     let attr = Client.getattr t.client fh in
     store_attr t fh attr;
     attr
@@ -71,10 +75,10 @@ let getattr t fh =
 let lookup t dir name =
   match Hashtbl.find_opt t.names (key dir, name) with
   | Some (result, expiry) when fresh t expiry ->
-    hit t;
+    hit t ~kind:"name";
     result
   | found ->
-    miss t ~expired:(found <> None);
+    miss t ~kind:"name" ~expired:(found <> None);
     let fh, attr = Client.lookup t.client dir name in
     Hashtbl.replace t.names ((key dir, name)) ((fh, attr), Clock.now t.clock +. t.name_ttl);
     store_attr t fh attr;

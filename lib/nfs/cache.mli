@@ -10,10 +10,12 @@
     to the common 3 s (attributes) / 30 s (names).
 
     {b Observability.} With a tracer attached ({!set_trace}), cache
-    traffic is counted in the tracer's metrics registry under
-    ["cache.attr.hits"] / ["cache.attr.misses"] /
-    ["cache.attr.expiries"] (name-cache traffic included: both
-    caches answer the same question — "can we skip a round trip?"). *)
+    traffic is counted in the tracer's metrics registry, split by
+    cache: ["cache.attr.hits"] / ["cache.attr.misses"] /
+    ["cache.attr.expiries"] for {!getattr} traffic and
+    ["cache.name.hits"] / ["cache.name.misses"] /
+    ["cache.name.expiries"] for {!lookup} traffic. The aggregate
+    accessors ({!hits}, {!misses}, {!expiries}) still cover both. *)
 
 type t
 
@@ -23,8 +25,9 @@ val create :
     [name_ttl] ages {!lookup} entries. *)
 
 val set_trace : t -> Trace.t -> unit
-(** Adopt a tracer for the ["cache.attr.*"] metrics counters
-    (default {!Trace.null}: instrumentation is free). *)
+(** Adopt a tracer for the ["cache.attr.*"] / ["cache.name.*"]
+    metrics counters (default {!Trace.null}: instrumentation is
+    free). *)
 
 val getattr : t -> Proto.fh -> Proto.fattr
 (** Served from cache while fresh; otherwise one GETATTR round trip

@@ -3,6 +3,7 @@ module Cost = Simnet.Cost
 module Stats = Simnet.Stats
 module Link = Simnet.Link
 module Fault = Simnet.Fault
+module Sched = Simnet.Sched
 
 type fault =
   | Prog_unavail
@@ -24,6 +25,44 @@ let default_drc_capacity = 512
 
 type drc_entry = { reply : string; mutable stamp : int }
 
+(* --- request queue + worker pool ------------------------------------- *)
+
+(* One queued request, fully decoded at admission so the worker can
+   service it without touching the wire bytes again. [job_reply]
+   carries the whole client-side reply path (seal, transmit, wake the
+   waiting call) as a closure, keeping the server free of any
+   knowledge of channels or mailboxes. *)
+type job = {
+  job_conn : conn_info;
+  job_key : string * int * int;
+  job_xid : int;
+  job_prog : int;
+  job_vers : int;
+  job_proc : int;
+  job_uid : int;
+  job_args : string;
+  job_len : int; (* raw datagram bytes, for the unmarshal CPU charge *)
+  job_enqueued : float;
+  job_reply : string -> unit;
+}
+
+(* Bounded queue with per-client FIFO fairness: one FIFO per peer,
+   drained round-robin, so a chatty client cannot starve the others.
+   [in_flight] maps a DRC key to the reply closures of every
+   retransmission that arrived while the original was still queued or
+   executing — they are all answered by the one execution. *)
+type pool = {
+  sched : Sched.t;
+  workers : int;
+  queue_depth : int;
+  fifos : (string, job Queue.t) Hashtbl.t;
+  rr : string Queue.t; (* peers with a non-empty FIFO, round-robin *)
+  mutable queued : int;
+  mutable peak : int;
+  mutable busy : int; (* workers currently running *)
+  in_flight : (string * int * int, (string -> unit) list ref) Hashtbl.t;
+}
+
 type server = {
   clock : Clock.t;
   cost : Cost.t;
@@ -38,6 +77,14 @@ type server = {
   mutable drc_tick : int;
   mutable drc_capacity : int;
   mutable trace : Trace.t;
+  mutable metrics : Trace.Metrics.t option;
+  mutable pool : pool option;
+  (* Client-id allocator. Per server, not global: ids key the xid
+     bands (so they only need to be unique among clients of one
+     server) and seed each client's jitter rng, and a fresh
+     deployment must hand out the same sequence every run for
+     byte-reproducible benchmarks. *)
+  mutable next_client : int;
   mutable dead : bool;
 }
 
@@ -52,6 +99,9 @@ let server ~clock ~cost ~stats =
     drc_tick = 0;
     drc_capacity = default_drc_capacity;
     trace = Trace.null;
+    metrics = None;
+    pool = None;
+    next_client = 0;
     dead = false;
   }
 
@@ -59,6 +109,29 @@ let register t ~prog ~vers handler = Hashtbl.replace t.programs (prog, vers) han
 
 let trace t = t.trace
 let set_trace t trace = t.trace <- trace
+let set_metrics t metrics = t.metrics <- metrics
+
+let set_pool t ~sched ~workers ~queue_depth =
+  if workers <= 0 then invalid_arg "Rpc.set_pool: non-positive workers";
+  if queue_depth <= 0 then invalid_arg "Rpc.set_pool: non-positive queue_depth";
+  t.pool <-
+    Some
+      {
+        sched;
+        workers;
+        queue_depth;
+        fifos = Hashtbl.create 8;
+        rr = Queue.create ();
+        queued = 0;
+        peak = 0;
+        busy = 0;
+        in_flight = Hashtbl.create 16;
+      }
+
+let pool_config t =
+  match t.pool with Some p -> Some (p.workers, p.queue_depth) | None -> None
+
+let queue_peak t = match t.pool with Some p -> p.peak | None -> 0
 
 let drc_evict_to t cap =
   while Hashtbl.length t.drc > cap && not (Queue.is_empty t.drc_order) do
@@ -110,28 +183,39 @@ type client = {
   link : Link.t;
   mutable channel : channel;
   conn : conn_info;
-  mutable xid : int;
+  id : int;
+  mutable seq : int;
   retry : retry;
   rng : Fault.Rng.t;
   mutable before_call : unit -> unit;
   mutable last_timeout : (int * int * int * string) option;
 }
 
-(* Each connection gets its own xid space so DRC keys (peer, xid,
+(* Each connection gets its own xid band so DRC keys (peer, xid,
    proc) never collide across clients, even plaintext ones that share
-   the empty peer string. *)
-let client_counter = ref 0
+   the empty peer string. The client id lives in the top 12 bits of
+   the 32-bit xid and the per-client sequence in the low 20: a client
+   issuing over 2^20 calls wraps within its *own* band (harmless —
+   the DRC holds far fewer than 2^20 entries) instead of bleeding
+   into the next client's, which is what the old flat
+   [counter * 1_000_000] scheme did. *)
+let xid_seq_bits = 20
+let xid_seq_mask = (1 lsl xid_seq_bits) - 1
+
+let make_xid ~client_id ~seq =
+  ((client_id land 0xfff) lsl xid_seq_bits) lor (seq land xid_seq_mask)
 
 let connect ~link ?(channel = plaintext) ?(peer = "") ?(uid = 0) ?(retry = default_retry) srv =
-  incr client_counter;
+  srv.next_client <- srv.next_client + 1;
   {
     srv;
     link;
     channel;
     conn = { peer; uid };
-    xid = !client_counter * 1_000_000;
+    id = srv.next_client;
+    seq = 0;
     retry;
-    rng = Fault.Rng.create ~seed:(Printf.sprintf "rpc-client-%d" !client_counter);
+    rng = Fault.Rng.create ~seed:(Printf.sprintf "rpc-client-%d" srv.next_client);
     before_call = (fun () -> ());
     last_timeout = None;
   }
@@ -285,19 +369,224 @@ let dispatch srv ~conn data =
         drc_put srv key reply;
         Some reply)
 
-(* Flows for Link.send reorder hold slots: requests and replies
-   travel in opposite directions. *)
+(* --- queued dispatch (worker-pool path) ------------------------------ *)
+
+(* The pooled paths record metrics but open no spans: a span stack
+   assumes strictly nested enter/exit, which interleaved processes
+   violate. Counters, gauges and histograms have no nesting, so the
+   queue's observability rides on those. *)
+
+let count_metric srv name =
+  match srv.metrics with Some m -> Trace.Metrics.incr m name | None -> ()
+
+let observe_metric srv name v =
+  match srv.metrics with
+  | Some m -> Trace.Metrics.observe (Trace.Metrics.histogram m name) v
+  | None -> ()
+
+let pool_gauge srv p =
+  if p.queued > p.peak then p.peak <- p.queued;
+  match srv.metrics with
+  | Some m -> Trace.Metrics.set_gauge m "rpc.queue.depth" (float_of_int p.queued)
+  | None -> ()
+
+let unmarshal_charge srv nbytes =
+  Clock.advance srv.clock
+    (srv.cost.Cost.rpc_overhead +. (float_of_int nbytes *. srv.cost.Cost.rpc_per_byte))
+
+(* Answer without occupying a worker (DRC hits, wire garbage): the
+   lookup path is cheap and bounded, so it is modelled as an
+   independent process paying only the unmarshal CPU. *)
+let spawn_reply srv p nbytes reply_thunk =
+  Sched.spawn p.sched (fun () ->
+      unmarshal_charge srv nbytes;
+      reply_thunk ())
+
+let enqueue p job =
+  let peer = job.job_conn.peer in
+  let q =
+    match Hashtbl.find_opt p.fifos peer with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace p.fifos peer q;
+      q
+  in
+  (* Invariant: a peer sits in the round-robin ring exactly when its
+     FIFO is non-empty (the drain side re-enqueues it while jobs
+     remain), so an empty FIFO here means the peer is not ringed. *)
+  if Queue.is_empty q then Queue.push peer p.rr;
+  Queue.push job q;
+  p.queued <- p.queued + 1
+
+let rec take_job p =
+  match Queue.take_opt p.rr with
+  | None -> None
+  | Some peer -> (
+    match Hashtbl.find_opt p.fifos peer with
+    | None -> take_job p
+    | Some q -> (
+      match Queue.take_opt q with
+      | None -> take_job p
+      | Some job ->
+        if not (Queue.is_empty q) then Queue.push peer p.rr;
+        Some job))
+
+(* Worker process: drain jobs until the queue is empty, then retire.
+   Workers are spawned on demand at admission (up to the pool size),
+   which needs no idle-worker bookkeeping and leaves the heap empty
+   when the system is quiet. *)
+let rec worker_loop srv p =
+  match take_job p with
+  | None -> p.busy <- p.busy - 1
+  | Some job ->
+    p.queued <- p.queued - 1;
+    pool_gauge srv p;
+    if srv.dead then begin
+      (* crashed while this job sat in the queue: it dies with the
+         server; the client's retransmissions go to the successor *)
+      Stats.incr srv.stats "rpc.dropped_dead";
+      Hashtbl.remove p.in_flight job.job_key;
+      worker_loop srv p
+    end
+    else begin
+      let started = Clock.now srv.clock in
+      observe_metric srv "rpc.queue.wait" (started -. job.job_enqueued);
+      unmarshal_charge srv job.job_len;
+      let outcome =
+        match Hashtbl.find_opt srv.programs (job.job_prog, job.job_vers) with
+        | None -> Error Prog_unavail
+        | Some handler -> (
+          let conn = { job.job_conn with uid = job.job_uid } in
+          try handler ~conn ~proc:job.job_proc ~args:job.job_args
+          with Xdr.Decode_error _ -> Error Garbage_args)
+      in
+      let reply = encode_reply ~xid:job.job_xid outcome in
+      observe_metric srv "rpc.queue.service" (Clock.now srv.clock -. started);
+      if srv.dead then begin
+        (* crashed mid-service: the result vanishes with the process *)
+        Stats.incr srv.stats "rpc.dropped_dead";
+        Hashtbl.remove p.in_flight job.job_key
+      end
+      else begin
+        drc_put srv job.job_key reply;
+        let waiters =
+          match Hashtbl.find_opt p.in_flight job.job_key with
+          | Some w -> List.rev !w
+          | None -> []
+        in
+        Hashtbl.remove p.in_flight job.job_key;
+        job.job_reply reply;
+        List.iter (fun notify -> notify reply) waiters
+      end;
+      worker_loop srv p
+    end
+
+(* Admission: dead-drop, DRC replay, retransmit coalescing, then the
+   bounded queue. A full queue drops the datagram on the floor — the
+   at-least-once retry path absorbs the loss, which is exactly how a
+   UDP server sheds load. *)
+let submit srv p ~conn ~reply data =
+  if srv.dead then Stats.incr srv.stats "rpc.dropped_dead"
+  else begin
+    Stats.incr srv.stats "rpc.calls";
+    match decode_call data with
+    | exception Xdr.Decode_error _ ->
+      spawn_reply srv p (String.length data) (fun () ->
+          reply (encode_reply ~xid:0 (Error Garbage_args)))
+    | xid, _prog, _vers, proc, _uid, _args
+      when Hashtbl.mem srv.drc (conn.peer, xid, proc) ->
+      let key = (conn.peer, xid, proc) in
+      let e = Hashtbl.find srv.drc key in
+      Stats.incr srv.stats "rpc.drc_hits";
+      Trace.instant srv.trace "rpc.drc_hit";
+      drc_touch srv key e;
+      let cached = e.reply in
+      spawn_reply srv p (String.length data) (fun () -> reply cached)
+    | xid, prog, vers, proc, uid, args -> (
+      let key = (conn.peer, xid, proc) in
+      match Hashtbl.find_opt p.in_flight key with
+      | Some waiters ->
+        (* a retransmission of a request that is queued or executing
+           right now: piggyback on that execution's reply *)
+        Stats.incr srv.stats "rpc.coalesced";
+        count_metric srv "rpc.queue.coalesced";
+        waiters := reply :: !waiters
+      | None ->
+        if p.queued >= p.queue_depth then begin
+          Stats.incr srv.stats "rpc.queue_rejects";
+          count_metric srv "rpc.queue.rejected";
+          Trace.instant srv.trace "rpc.queue_reject"
+        end
+        else begin
+          Hashtbl.replace p.in_flight key (ref []);
+          enqueue p
+            {
+              job_conn = conn;
+              job_key = key;
+              job_xid = xid;
+              job_prog = prog;
+              job_vers = vers;
+              job_proc = proc;
+              job_uid = uid;
+              job_args = args;
+              job_len = String.length data;
+              job_enqueued = Clock.now srv.clock;
+              job_reply = reply;
+            };
+          pool_gauge srv p;
+          if p.busy < p.workers then begin
+            p.busy <- p.busy + 1;
+            Sched.spawn p.sched (fun () -> worker_loop srv p)
+          end
+        end)
+  end
+
+let submit_datagram srv ~conn ~reply data =
+  match srv.pool with
+  | None -> invalid_arg "Rpc.submit_datagram: no pool attached"
+  | Some p -> submit srv p ~conn ~reply data
+
+(* Flows for Link.send reorder hold slots and busy-until wires:
+   requests and replies travel in opposite directions. *)
 let flow_req = 0
 let flow_rep = 1
 
-let call t ~prog ~vers ~proc args =
+(* Client side: does this arrived packet settle the call with [xid]?
+   Shared by the serial fold and the pooled mailbox loop. *)
+let consider_reply t ~tr ~stats ~xid pkt =
+  match
+    let plain = t.channel.client_open pkt in
+    Trace.span tr "xdr.unmarshal" (fun () -> decode_reply plain)
+  with
+  | exception Rpc_error f -> Some (Error f) (* MSG_DENIED: a real reply *)
+  | exception _ ->
+    Stats.incr stats "rpc.client_rx_drops";
+    None
+  | rxid, outcome ->
+    if rxid = xid then Some outcome
+    else begin
+      Stats.incr stats "rpc.stale_replies";
+      None
+    end
+
+let next_xid t =
+  t.seq <- t.seq + 1;
+  make_xid ~client_id:t.id ~seq:t.seq
+
+let timeout_exhausted t ~prog ~vers ~proc args =
+  t.last_timeout <- Some (prog, vers, proc, args);
+  Rpc_timeout
+    (Printf.sprintf "no reply after %d attempts (prog %d, proc %d)" t.retry.max_attempts
+       prog proc)
+
+let call_serial t ~prog ~vers ~proc args =
   let tr = Link.trace t.link in
   Trace.span tr "rpc.call"
     ~attrs:[ ("prog", string_of_int prog); ("proc", string_of_int proc) ]
   @@ fun () ->
   t.before_call ();
-  t.xid <- t.xid + 1;
-  let xid = t.xid in
+  let xid = next_xid t in
   let stats = Link.stats t.link in
   let request =
     Trace.span tr "xdr.marshal" (fun () ->
@@ -333,31 +622,11 @@ let call t ~prog ~vers ~proc args =
       (fun acc pkt ->
         match acc with
         | Some _ -> acc
-        | None -> (
-          match
-            let plain = t.channel.client_open pkt in
-            Trace.span tr "xdr.unmarshal" (fun () -> decode_reply plain)
-          with
-          | exception Rpc_error f -> Some (Error f) (* MSG_DENIED: a real reply *)
-          | exception _ ->
-            Stats.incr stats "rpc.client_rx_drops";
-            None
-          | rxid, outcome ->
-            if rxid = xid then Some outcome
-            else begin
-              Stats.incr stats "rpc.stale_replies";
-              None
-            end))
+        | None -> consider_reply t ~tr ~stats ~xid pkt)
       None arrived_replies
   in
   let rec attempt n timeout =
-    if n > t.retry.max_attempts then begin
-      t.last_timeout <- Some (prog, vers, proc, args);
-      raise
-        (Rpc_timeout
-           (Printf.sprintf "no reply after %d attempts (prog %d, proc %d)" t.retry.max_attempts
-              prog proc))
-    end;
+    if n > t.retry.max_attempts then raise (timeout_exhausted t ~prog ~vers ~proc args);
     let result =
       Trace.span tr "rpc.attempt"
         ~attrs:[ ("n", string_of_int n) ]
@@ -380,6 +649,71 @@ let call t ~prog ~vers ~proc args =
       attempt (n + 1) (timeout *. t.retry.backoff)
   in
   attempt 1 t.retry.base_timeout
+
+(* The queued path, taken when the server has a worker pool and we
+   are running inside a scheduler process. The structure mirrors the
+   serial path, but dispatch goes through [submit] and the reply
+   arrives asynchronously through a mailbox: instead of sleeping out
+   the whole retransmission timer, the call waits on the mailbox with
+   the timer as the timeout — the reply wakes it the moment the
+   server's transmit process delivers it. *)
+let call_pooled t p ~prog ~vers ~proc args =
+  let sched = p.sched in
+  let clock = Link.clock t.link in
+  let stats = Link.stats t.link in
+  t.before_call ();
+  let xid = next_xid t in
+  let request = encode_call ~xid ~prog ~vers ~proc ~uid:t.conn.uid args in
+  let mbox = Sched.Mailbox.create () in
+  (* Runs on the server when the execution (or DRC replay) finishes:
+     seal and clock the reply back over the wire as its own process,
+     so a slow reply transmission never blocks the worker. *)
+  let reply raw =
+    Sched.spawn sched (fun () ->
+        let sealed = t.channel.server_seal raw in
+        List.iter
+          (fun pkt -> Sched.Mailbox.push sched mbox pkt)
+          (Link.send t.link ~flow:flow_rep sealed))
+  in
+  let rec attempt n timeout =
+    if n > t.retry.max_attempts then raise (timeout_exhausted t ~prog ~vers ~proc args);
+    if n > 1 then Stats.incr stats "rpc.retransmits";
+    let wire_request = t.channel.client_seal request in
+    let arrived_requests = Link.send t.link ~flow:flow_req wire_request in
+    List.iter
+      (fun pkt ->
+        match t.channel.server_open pkt with
+        | exception _ -> Stats.incr stats "rpc.server_rx_drops"
+        | plain -> submit t.srv p ~conn:t.conn ~reply plain)
+      arrived_requests;
+    let jitter = 1.0 +. (t.retry.jitter *. ((2.0 *. Fault.Rng.float t.rng) -. 1.0)) in
+    let deadline = Clock.now clock +. (timeout *. jitter) in
+    let rec await () =
+      let remaining = deadline -. Clock.now clock in
+      if remaining <= 0.0 then None
+      else
+        match Sched.Mailbox.take sched mbox ~timeout:remaining with
+        | None -> None
+        | Some pkt -> (
+          match consider_reply t ~tr:Trace.null ~stats ~xid pkt with
+          | Some outcome -> Some outcome
+          | None -> await () (* stale or garbled: keep listening *))
+    in
+    match await () with
+    | Some (Ok results) ->
+      t.last_timeout <- None;
+      results
+    | Some (Error fault) ->
+      t.last_timeout <- None;
+      raise (Rpc_error fault)
+    | None -> attempt (n + 1) (timeout *. t.retry.backoff)
+  in
+  attempt 1 t.retry.base_timeout
+
+let call t ~prog ~vers ~proc args =
+  match t.srv.pool with
+  | Some p when Sched.in_process p.sched -> call_pooled t p ~prog ~vers ~proc args
+  | _ -> call_serial t ~prog ~vers ~proc args
 
 let calls_made srv = Stats.get srv.stats "rpc.calls"
 let drc_hits srv = Stats.get srv.stats "rpc.drc_hits"

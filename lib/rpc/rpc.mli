@@ -48,6 +48,36 @@ val set_trace : server -> Trace.t -> unit
     (["rpc.call"], ["rpc.attempt"], ["rpc.backoff"]) follow the
     link's tracer ({!Simnet.Link.set_trace}). *)
 
+val set_metrics : server -> Trace.Metrics.t option -> unit
+(** Adopt a metrics registry for the queue instrumentation
+    (["rpc.queue.depth"] gauge, ["rpc.queue.wait"] /
+    ["rpc.queue.service"] histograms, ["rpc.queue.rejected"] /
+    ["rpc.queue.coalesced"] counters). Kept separate from the tracer
+    because the pooled paths record metrics but open no spans: a span
+    stack assumes strictly nested enter/exit, which interleaved
+    processes violate. *)
+
+val set_pool : server -> sched:Simnet.Sched.t -> workers:int -> queue_depth:int -> unit
+(** Give the server a bounded request queue and a worker pool.
+    {!call}s issued from inside a scheduler process are then admitted
+    through the queue — per-client FIFOs drained round-robin by up to
+    [workers] concurrent worker processes — instead of being executed
+    in-line; a full queue ([queue_depth] jobs waiting) drops the
+    datagram, and the client's at-least-once retransmission absorbs
+    the loss (["rpc.queue_rejects"] in stats). Retransmissions of a
+    request still queued or executing coalesce onto that execution
+    (["rpc.coalesced"]). Calls made outside any process (setup code,
+    serial benchmarks) keep the exact serial semantics. Raises
+    [Invalid_argument] unless [workers] and [queue_depth] are
+    positive. *)
+
+val pool_config : server -> (int * int) option
+(** [(workers, queue_depth)] if a pool is attached. *)
+
+val queue_peak : server -> int
+(** High-water mark of the request queue since the pool was
+    attached (0 without a pool). *)
+
 val set_drc_capacity : server -> int -> unit
 (** Bound the duplicate-request cache (default 512 entries),
     evicting least-recently-used entries immediately if the new
@@ -98,6 +128,14 @@ val connect :
   server ->
   client
 
+val make_xid : client_id:int -> seq:int -> int
+(** The 32-bit xid layout: client id in the top 12 bits, per-client
+    call sequence in the low 20. Bands are disjoint across client
+    ids, so DRC keys (peer, xid, proc) cannot collide between
+    clients — even plaintext ones sharing the empty peer string, and
+    even after one client issues more than 2^20 calls (its sequence
+    wraps within its own band). Exposed for the regression tests. *)
+
 val set_channel : client -> channel -> unit
 (** Swap the wire transforms in place — used when the SAs are
     re-keyed mid-connection. *)
@@ -145,6 +183,17 @@ val encode_call :
 val decode_reply : string -> int * (string, fault) result
 (** Parse a REPLY message into (xid, outcome). Raises
     [Xdr.Decode_error] on garbage and {!Rpc_error} on MSG_DENIED. *)
+
+val submit_datagram :
+  server -> conn:conn_info -> reply:(string -> unit) -> string -> unit
+(** Feed one raw datagram through the queued path, exactly as a
+    pooled {!call} does on arrival: DRC replay, retransmit
+    coalescing, bounded-queue admission (or rejection), worker
+    execution, then [reply] with the framed reply bytes (possibly
+    never, if the queue sheds the datagram or the server dies).
+    Requires an attached pool ({!set_pool}); the scheduler must be
+    {!Simnet.Sched.run} for anything to happen. Exposed so tests can
+    drive the queue with hand-built interleavings. *)
 
 val dispatch : server -> conn:conn_info -> string -> string option
 (** Feed one raw datagram to the server exactly as the link would:

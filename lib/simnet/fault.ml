@@ -29,16 +29,41 @@ module Rng = struct
     (* 53 uniform bits in [0, 1). *)
     Int64.to_float (Int64.shift_right_logical (next t) 11) *. (1.0 /. 9007199254740992.0)
 
+  (* Rejection sampling over the top 63 bits: a bare [rem] would bias
+     small residues whenever n does not divide 2^63. Draws landing in
+     the truncated final copy of [0, n) are re-drawn; for any sane n
+     the rejection probability is ~n/2^63, so this almost never loops. *)
   let int_below t n =
     if n <= 0 then invalid_arg "Fault.Rng.int_below: non-positive bound";
-    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+    let bound = Int64.of_int n in
+    let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound) in
+    let rec draw () =
+      let u = Int64.shift_right_logical (next t) 1 in
+      if u >= limit then draw () else Int64.to_int (Int64.rem u bound)
+    in
+    draw ()
 end
 
 type net = { drop : float; duplicate : float; reorder : float; corrupt : float }
 
 let no_net = { drop = 0.0; duplicate = 0.0; reorder = 0.0; corrupt = 0.0 }
 
-let lossy p = { drop = p; duplicate = p /. 4.0; reorder = p /. 4.0; corrupt = p /. 4.0 }
+(* Drop at [p] plus duplicate/reorder/corrupt at [p/4] each. The raw
+   recipe sums to 7p/4, which passes 1.0 at p = 4/7 — beyond that the
+   [net_decide] cascade would silently starve Corrupt (its threshold
+   band gets squeezed out first) and distort Reorder. Scale the whole
+   profile back onto the simplex instead so the 4:1:1:1 ratio
+   survives at every p. *)
+let lossy p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Fault.lossy: p outside [0, 1]";
+  let total = 7.0 *. p /. 4.0 in
+  let scale = if total > 1.0 then 1.0 /. total else 1.0 in
+  {
+    drop = p *. scale;
+    duplicate = p /. 4.0 *. scale;
+    reorder = p /. 4.0 *. scale;
+    corrupt = p /. 4.0 *. scale;
+  }
 
 type net_action = Deliver | Drop | Duplicate | Reorder | Corrupt
 

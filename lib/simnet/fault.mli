@@ -16,7 +16,8 @@ module Rng : sig
   (** Uniform in [[0, 1)]. *)
 
   val int_below : t -> int -> int
-  (** Uniform in [[0, n)]; [n] must be positive. *)
+  (** Uniform in [[0, n)] by rejection sampling (no modulo bias);
+      [n] must be positive. *)
 end
 
 type net = { drop : float; duplicate : float; reorder : float; corrupt : float }
@@ -28,7 +29,10 @@ val no_net : net
 val lossy : float -> net
 (** [lossy p] drops with probability [p] and duplicates/reorders/
     corrupts with probability [p/4] each — a rough model of a bad
-    WAN path. *)
+    WAN path. Whenever the raw probabilities would sum past 1.0
+    (p > 4/7) the profile is scaled back onto the simplex, keeping
+    the 4:1:1:1 fault ratio instead of silently starving the last
+    cascade entries. Raises [Invalid_argument] outside [0, 1]. *)
 
 type net_action = Deliver | Drop | Duplicate | Reorder | Corrupt
 

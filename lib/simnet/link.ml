@@ -5,10 +5,22 @@ type t = {
   mutable trace : Trace.t;
   mutable fault : Fault.t option;
   held : (int, string) Hashtbl.t; (* per-flow reorder hold slot *)
+  busy : (int, int * float) Hashtbl.t;
+      (* per-flow (clock epoch, busy-until): a reservation stamped
+         under an older epoch predates a Clock.reset (benchmarks
+         rewind between setup and the timed phase) and is stale *)
 }
 
 let create ~clock ~cost ~stats =
-  { clock; cost; stats; trace = Trace.null; fault = None; held = Hashtbl.create 4 }
+  {
+    clock;
+    cost;
+    stats;
+    trace = Trace.null;
+    fault = None;
+    held = Hashtbl.create 4;
+    busy = Hashtbl.create 4;
+  }
 
 let clock t = t.clock
 let cost t = t.cost
@@ -25,7 +37,20 @@ let set_fault t f =
 
 let fault t = t.fault
 
-let transmit t nbytes =
+let busy_until t flow =
+  match Hashtbl.find_opt t.busy flow with
+  | Some (epoch, until) when epoch = Clock.epoch t.clock -> until
+  | _ -> 0.0
+
+(* Busy-until serialization: the flow is a single wire, so a new
+   transmission starts when the previous one has finished clocking
+   out. The reservation is recorded *before* the clock charge — under
+   a scheduler the charge suspends the calling process, and concurrent
+   senders arriving mid-transmission must see the wire occupied. In
+   serial mode the clock catches up to (or past) the reservation
+   before the next call, so the wait term is always zero and timings
+   are exactly as before. *)
+let transmit t ?(flow = 0) nbytes =
   if nbytes < 0 then invalid_arg "Link.transmit: negative size";
   Trace.span t.trace "net.transit" (fun () ->
       let c = t.cost in
@@ -33,12 +58,17 @@ let transmit t nbytes =
         if c.Cost.net_bandwidth_bps = infinity then 0.0
         else float_of_int nbytes /. c.Cost.net_bandwidth_bps
       in
-      Clock.advance t.clock (c.Cost.net_latency +. serialization);
+      let now = Clock.now t.clock in
+      let free_at = busy_until t flow in
+      let wait = if free_at > now then free_at -. now else 0.0 in
+      Hashtbl.replace t.busy flow (Clock.epoch t.clock, now +. wait +. serialization);
       Stats.add t.stats "link.bytes" nbytes;
-      Stats.incr t.stats "link.messages")
+      Stats.incr t.stats "link.messages";
+      if wait > 0.0 then Stats.incr t.stats "link.queued";
+      Clock.advance t.clock (wait +. serialization +. c.Cost.net_latency))
 
 let send t ?(flow = 0) payload =
-  transmit t (String.length payload);
+  transmit t ~flow (String.length payload);
   match t.fault with
   | None -> [ payload ]
   | Some f ->
@@ -73,6 +103,24 @@ let send t ?(flow = 0) payload =
         Hashtbl.replace t.held flow payload;
         []
       end)
+
+(* Flush reorder hold slots: a held packet whose flow never sends
+   again would otherwise be lost without ever being accounted a drop
+   — and would survive a crash/restart inside the live link. Called
+   when the endpoint quiesces (crash, shutdown). Deterministic order:
+   flows are sorted before draining. *)
+let quiesce t =
+  let held = Hashtbl.fold (fun flow pkt acc -> (flow, pkt) :: acc) t.held [] in
+  let held = List.sort (fun (a, _) (b, _) -> Int.compare a b) held in
+  List.iter
+    (fun (flow, _pkt) ->
+      Hashtbl.remove t.held flow;
+      Stats.incr t.stats "link.drops";
+      Stats.incr t.stats "link.quiesce_drops";
+      Trace.instant t.trace "fault.net.quiesce_drop")
+    held;
+  Hashtbl.reset t.busy;
+  List.length held
 
 let bytes_sent t = Stats.get t.stats "link.bytes"
 let messages_sent t = Stats.get t.stats "link.messages"

@@ -27,9 +27,30 @@ val set_fault : t -> Fault.t option -> unit
 
 val fault : t -> Fault.t option
 
-val transmit : t -> int -> unit
-(** [transmit t nbytes] charges one one-way message of [nbytes]:
-    latency plus serialization at the link bandwidth. *)
+val transmit : t -> ?flow:int -> int -> unit
+(** [transmit t ~flow nbytes] charges one one-way message of
+    [nbytes]: queueing delay (if the flow's wire is still clocking
+    out an earlier transmission — only possible under a {!Sched}
+    where senders overlap), then serialization at the link bandwidth,
+    then latency. Transmissions on the same flow serialize behind
+    each other (busy-until model); a wait is counted under
+    ["link.queued"]. In serial mode the wait is always zero and the
+    charge is exactly latency + serialization, as before. *)
+
+val busy_until : t -> int -> float
+(** The absolute virtual time at which [flow]'s wire finishes its
+    current transmission (0.0 if it has never sent). Reservations
+    are stamped with the clock's {!Clock.epoch}; one left over from
+    before a [Clock.reset] (benchmarks rewind between setup and the
+    timed phase) reads as idle, so a rewind can never charge phantom
+    queueing delay carried over from the previous epoch. *)
+
+val quiesce : t -> int
+(** Drop any packets still parked in reorder hold slots — a crash or
+    shutdown of an endpoint loses them for real — counting each under
+    ["link.drops"] / ["link.quiesce_drops"], and mark every flow's
+    wire idle. Returns how many packets were flushed. Called by
+    [Deploy.crash_and_restart]. *)
 
 val send : t -> ?flow:int -> string -> string list
 (** [send t ~flow payload] charges wire time for the attempt and

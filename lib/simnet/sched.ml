@@ -1,0 +1,222 @@
+(* Discrete-event scheduler: a binary min-heap of timed events with a
+   (time, seq) key so simultaneous events run in the order they were
+   scheduled, and cooperative processes built on effect handlers. A
+   process that "spends" virtual time does so by performing a Suspend
+   effect; the scheduler parks its continuation in the heap and runs
+   whatever comes next. Installing the clock's advance hook turns
+   every in-line [Clock.advance] in the lower layers (disk seeks, ESP
+   seal costs, wire latency) into such a sleep automatically, so the
+   entire existing cost model becomes concurrency-aware without
+   touching the call sites.
+
+   Determinism: the heap order is total — ties broken by allocation
+   sequence number — and there is no wall-clock input and no
+   unordered container iteration anywhere in the loop, so a given
+   program produces one event order, always. The lint pass holds the
+   module to that: discfs-lint: require strict-determinism *)
+
+type event = {
+  time : float;
+  seq : int;
+  mutable cancelled : bool;
+  thunk : unit -> unit;
+}
+
+type t = {
+  clock : Clock.t;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable in_process : bool;
+  mutable running : bool;
+  mutable events_run : int;
+  mutable probe : (float -> int -> unit) option;
+}
+
+type handle = event
+
+(* --- binary heap keyed (time, seq) ---------------------------------- *)
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let dummy = { time = 0.0; seq = -1; cancelled = true; thunk = ignore }
+
+let create ~clock =
+  {
+    clock;
+    heap = Array.make 64 dummy;
+    size = 0;
+    next_seq = 0;
+    in_process = false;
+    running = false;
+    events_run = 0;
+    probe = None;
+  }
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  top
+
+(* --- scheduling ------------------------------------------------------ *)
+
+let schedule_at t time thunk =
+  if time < Clock.now t.clock then
+    invalid_arg "Sched.schedule_at: time in the past";
+  let ev = { time; seq = t.next_seq; cancelled = false; thunk } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev;
+  ev
+
+let schedule_after t dt thunk =
+  if dt < 0.0 then invalid_arg "Sched.schedule_after: negative dt";
+  schedule_at t (Clock.now t.clock +. dt) thunk
+
+let cancel ev = ev.cancelled <- true
+let in_process t = t.in_process
+let events_run t = t.events_run
+let pending t = t.size
+let set_probe t probe = t.probe <- probe
+
+(* --- cooperative processes over effects ------------------------------ *)
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let handler =
+  {
+    Effect.Deep.retc = (fun () -> ());
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                register (fun v -> Effect.Deep.continue k v))
+        | _ -> None);
+  }
+
+let spawn t f =
+  ignore
+    (schedule_at t (Clock.now t.clock) (fun () ->
+         Effect.Deep.match_with f () handler))
+
+let suspend register = Effect.perform (Suspend register)
+
+let sleep t dt =
+  if dt < 0.0 then invalid_arg "Sched.sleep: negative dt";
+  suspend (fun resume -> ignore (schedule_after t dt resume))
+
+let yield t = suspend (fun resume -> ignore (schedule_after t 0.0 resume))
+
+(* --- the event loop -------------------------------------------------- *)
+
+let step t ev =
+  Clock.set t.clock ev.time;
+  t.events_run <- t.events_run + 1;
+  (match t.probe with Some p -> p ev.time ev.seq | None -> ());
+  t.in_process <- true;
+  Fun.protect ~finally:(fun () -> t.in_process <- false) ev.thunk
+
+let run t =
+  if t.running then invalid_arg "Sched.run: already running";
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      while t.size > 0 do
+        let ev = pop t in
+        if not ev.cancelled then step t ev
+      done)
+
+(* The clock hook: inside a process, a cost charge becomes a sleep so
+   other processes can run during it; outside (setup code, serial
+   mode after [attach_clock]), it is an ordinary in-line advance. *)
+let attach_clock t =
+  Clock.set_advance_hook t.clock
+    (Some
+       (fun dt ->
+         if t.in_process then sleep t dt
+         else Clock.set t.clock (Clock.now t.clock +. dt)))
+
+(* --- mailbox: one-consumer FIFO with timed receive -------------------- *)
+
+module Mailbox = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    mutable waiter : ('a option -> unit) option;
+  }
+
+  let create () = { items = Queue.create (); waiter = None }
+
+  let push sched mb x =
+    match mb.waiter with
+    | Some resume ->
+        (* Resolve now (so the timer can no longer fire) but run the
+           consumer as its own event, preserving FIFO among same-time
+           wakeups. *)
+        mb.waiter <- None;
+        ignore (schedule_after sched 0.0 (fun () -> resume (Some x)))
+    | None -> Queue.push x mb.items
+
+  let take sched mb ~timeout =
+    match Queue.take_opt mb.items with
+    | Some v -> Some v
+    | None ->
+        if timeout <= 0.0 then None
+        else
+          suspend (fun resume ->
+              (match mb.waiter with
+              | Some _ -> invalid_arg "Sched.Mailbox.take: already a waiter"
+              | None -> ());
+              let timer =
+                schedule_after sched timeout (fun () ->
+                    match mb.waiter with
+                    | Some w ->
+                        mb.waiter <- None;
+                        w None
+                    | None -> ())
+              in
+              mb.waiter <-
+                Some
+                  (fun v ->
+                    cancel timer;
+                    resume v))
+end

@@ -1,0 +1,99 @@
+(** Discrete-event scheduler with cooperative processes.
+
+    A binary-heap event queue keyed [(time, seq)] — virtual time
+    first, allocation order as the tie-break — drives processes built
+    on OCaml effect handlers. While a process runs, any
+    [Clock.advance] performed by the layers beneath it (disk, wire,
+    crypto, policy) is intercepted by the clock's advance hook and
+    turned into a cooperative sleep, so concurrent processes overlap
+    in virtual time exactly where a real server would overlap on
+    independent resources.
+
+    Determinism: the event order is a pure function of the schedule
+    calls — no wall clock, no unordered container iteration — so the
+    same program replays the same interleaving every run. *)
+
+type t
+
+type handle
+(** A scheduled event, for cancellation. *)
+
+val create : clock:Clock.t -> t
+(** A scheduler over [clock]. Does not install the clock hook;
+    call {!attach_clock} when processes should absorb cost charges
+    as sleeps. *)
+
+val attach_clock : t -> unit
+(** Install this scheduler as [clock]'s advance hook: inside a
+    process, [Clock.advance] suspends the process for [dt]; outside
+    one, it advances in-line as before. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> handle
+(** Run a thunk at an absolute virtual time (>= now, else
+    [Invalid_argument]). The thunk is not a process: it must not
+    suspend unless it wraps itself via {!spawn}. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> handle
+(** [schedule_after t dt f] = [schedule_at t (now + dt) f]. *)
+
+val cancel : handle -> unit
+(** Cancelled events are skipped by the loop; cancelling an event
+    that already ran is harmless. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Enqueue a cooperative process starting at the current virtual
+    time. Within it, {!sleep}/{!suspend} (and, with {!attach_clock},
+    any [Clock.advance] underneath it) yield to other events. An
+    exception escaping the process aborts {!run}. *)
+
+val run : t -> unit
+(** Execute events in [(time, seq)] order until the heap is empty,
+    moving the clock to each event's timestamp. Not re-entrant. *)
+
+val sleep : t -> float -> unit
+(** Suspend the calling process for [dt] virtual seconds. Must be
+    called from within a process. *)
+
+val yield : t -> unit
+(** Reschedule the calling process behind every event already due at
+    the current time. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] parks the calling process and hands [register]
+    a resume function; the process continues — with the value passed
+    to resume — when someone calls it (exactly once). The primitive
+    beneath {!sleep} and {!Mailbox.take}. *)
+
+val in_process : t -> bool
+(** True while the scheduler is executing an event — the signal used
+    by layers that behave differently in-line vs. in-process (e.g.
+    [Rpc.call] picks the queued path only in-process). *)
+
+val pending : t -> int
+(** Events currently in the heap (including cancelled ones not yet
+    popped). *)
+
+val events_run : t -> int
+(** Total events executed — a cheap determinism fingerprint. *)
+
+val set_probe : t -> (float -> int -> unit) option -> unit
+(** Observation hook called with [(time, seq)] as each event runs;
+    used by the replay-determinism tests to journal the order. *)
+
+(** One-consumer FIFO channel between processes: the reply path from
+    server transmit process to the waiting client call. *)
+module Mailbox : sig
+  type sched := t
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val push : sched -> 'a t -> 'a -> unit
+  (** Deliver a value: queue it, or wake the waiting consumer (as its
+      own event, so same-time wakeups stay FIFO). *)
+
+  val take : sched -> 'a t -> timeout:float -> 'a option
+  (** Dequeue, or suspend the calling process until a value arrives
+      ([Some v]) or [timeout] virtual seconds pass ([None]). At most
+      one process may wait at a time. *)
+end

@@ -1,0 +1,12 @@
+(* Fixture: unordered hash-table iteration in a module that opted
+   into the scheduler-grade rule. Bucket order depends on insertion
+   history, so deriving any event ordering from it would not replay.
+   discfs-lint: require strict-determinism *)
+
+let tbl : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let visit f = Hashtbl.iter f tbl
+
+let total () = Hashtbl.fold (fun _ v acc -> acc + String.length v) tbl 0
+
+let stream () = Hashtbl.to_seq tbl

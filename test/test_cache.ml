@@ -215,6 +215,37 @@ let test_attr_cache_expiry_counter () =
   Alcotest.(check int) "and as a miss" 2 (Nfs.Cache.misses cache);
   Alcotest.(check int) "one hit in between" 1 (Nfs.Cache.hits cache)
 
+(* Regression: the attribute and name caches used to share one
+   ["cache.hits"]/["cache.misses"] counter pair, so a name-cache
+   pathology (e.g. churn from renames) was indistinguishable from
+   attribute-TTL behaviour in any metrics dump. The counters are now
+   split per cache; the aggregates remain for the old consumers. *)
+let test_cache_metrics_split_by_kind () =
+  let d = Cfs.Cfs_ne.deploy () in
+  let client, root = Cfs.Cfs_ne.connect d () in
+  let clock = d.Cfs.Cfs_ne.clock in
+  let metrics = Trace.Metrics.create () in
+  let trace = Trace.create ~metrics ~now:(fun () -> Clock.now clock) () in
+  let cache = Nfs.Cache.create ~client ~clock () in
+  Nfs.Cache.set_trace cache trace;
+  let _ = Nfs.Client.create_file client root "split.txt" Proto.sattr_none in
+  (* one attr miss + one attr hit, one name miss + one name hit *)
+  let fh, _ = Nfs.Cache.lookup cache root "split.txt" in
+  let _ = Nfs.Cache.lookup cache root "split.txt" in
+  (* the lookup miss refilled fh's attr entry, so age it out first *)
+  Clock.advance clock 4.0;
+  let _ = Nfs.Cache.getattr cache fh in
+  let _ = Nfs.Cache.getattr cache fh in
+  let c name = Trace.Metrics.counter metrics name in
+  Alcotest.(check int) "attr hits" 1 (c "cache.attr.hits");
+  Alcotest.(check int) "attr misses" 1 (c "cache.attr.misses");
+  Alcotest.(check int) "name hits" 1 (c "cache.name.hits");
+  Alcotest.(check int) "name misses" 1 (c "cache.name.misses");
+  Alcotest.(check int) "attr expiry counted per-kind" 1 (c "cache.attr.expiries");
+  Alcotest.(check int) "no name expiries" 0 (c "cache.name.expiries");
+  Alcotest.(check int) "aggregate hits still cover both" 2 (Nfs.Cache.hits cache);
+  Alcotest.(check int) "aggregate misses still cover both" 2 (Nfs.Cache.misses cache)
+
 (* --- property: caching never changes results ------------------------- *)
 
 (* Random mixes of writes and reads against one file, applied to two
@@ -277,5 +308,6 @@ let suite =
     Alcotest.test_case "memo key separates peer/attrs/epoch" `Quick
       test_epoch_and_attributes_key_the_memo;
     Alcotest.test_case "attr cache counts expiries" `Quick test_attr_cache_expiry_counter;
+    Alcotest.test_case "cache metrics split by kind" `Quick test_cache_metrics_split_by_kind;
     QCheck_alcotest.to_alcotest prop_cached_fs_reads_equal_uncached;
   ]

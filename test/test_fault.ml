@@ -408,6 +408,120 @@ let test_e2e_loss_and_crash () =
   Alcotest.(check bool) "audit trail survived the crash" true
     (List.length (Server.audit_log d.Deploy.server) > 0)
 
+(* --- lossy profile normalization (regression) ------------------------- *)
+
+(* Before the fix, [lossy p] for p > 4/7 pushed the raw probability
+   sum past 1.0; the cascade (drop, then duplicate, then reorder,
+   then corrupt) consumed the probability mass in order, so Corrupt —
+   last in line — was starved down to nothing while drop stayed at
+   its nominal rate. The profile is now scaled back onto the simplex,
+   preserving the 4:1:1:1 ratio. *)
+let test_lossy_normalized () =
+  let n = Fault.lossy 0.8 in
+  let sum = n.Fault.drop +. n.Fault.duplicate +. n.Fault.reorder +. n.Fault.corrupt in
+  Alcotest.(check (float 1e-9)) "p=0.8 scaled onto the simplex" 1.0 sum;
+  Alcotest.(check (float 1e-9)) "4:1 drop/corrupt ratio kept" 4.0
+    (n.Fault.drop /. n.Fault.corrupt);
+  let m = Fault.lossy 0.4 in
+  Alcotest.(check (float 1e-9)) "p=0.4 already feasible: untouched" 0.4 m.Fault.drop;
+  Alcotest.(check (float 1e-9)) "p=0.4 corrupt untouched" 0.1 m.Fault.corrupt;
+  Alcotest.check_raises "p outside [0,1] rejected"
+    (Invalid_argument "Fault.lossy: p outside [0, 1]") (fun () -> ignore (Fault.lossy 1.5));
+  (* With p = 1.0 every packet must still draw a fault — and Corrupt
+     must actually occur, which the un-normalized cascade never let
+     happen. *)
+  let f = Fault.create ~net:(Fault.lossy 1.0) ~seed:"lossy-sat" () in
+  let seen = Hashtbl.create 4 in
+  for _ = 1 to 500 do
+    let a = Fault.net_decide f in
+    Hashtbl.replace seen a ();
+    if a = Fault.Deliver then Alcotest.fail "p=1 delivered a packet intact"
+  done;
+  Alcotest.(check bool) "corrupt no longer starved" true (Hashtbl.mem seen Fault.Corrupt)
+
+let prop_lossy_simplex =
+  QCheck.Test.make ~name:"lossy profiles stay on the probability simplex" ~count:200
+    (QCheck.make ~print:string_of_float QCheck.Gen.(float_bound_inclusive 1.0))
+    (fun p ->
+      let n = Fault.lossy p in
+      let sum = n.Fault.drop +. n.Fault.duplicate +. n.Fault.reorder +. n.Fault.corrupt in
+      sum <= 1.0 +. 1e-9
+      && n.Fault.drop >= 0.0 && n.Fault.duplicate >= 0.0
+      && n.Fault.reorder >= 0.0 && n.Fault.corrupt >= 0.0)
+
+(* --- Rng.int_below modulo bias (regression) --------------------------- *)
+
+let test_int_below_unbiased () =
+  (* n = 3 * 2^60 against 63-bit raw draws: 2^63 mod n = 2^61, so the
+     old plain-modulo reduction hit [0, 2^61) three times for every
+     two hits on [2^61, 3*2^60) — P(x < 2^61) was 0.75 instead of the
+     uniform 2/3. Rejection sampling brings it back: with 4000 draws
+     the biased estimator concentrates near 3000, the unbiased one
+     near 2667. *)
+  let rng = Fault.Rng.create ~seed:"bias-sat" in
+  let n = 3 * (1 lsl 60) in
+  let threshold = 1 lsl 61 in
+  let below = ref 0 in
+  for _ = 1 to 4000 do
+    let x = Fault.Rng.int_below rng n in
+    if x < 0 || x >= n then Alcotest.fail "int_below out of range";
+    if x < threshold then incr below
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "no modulo bias (%d/4000 below 2^61, biased ~3000)" !below)
+    true
+    (!below < 2820);
+  (* Small bounds stay uniform too: n = 7 over 7000 draws, every
+     residue within 10%% of the expected 1000. *)
+  let buckets = Array.make 7 0 in
+  for _ = 1 to 7000 do
+    let x = Fault.Rng.int_below rng 7 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 900 || c > 1100 then Alcotest.failf "residue %d drawn %d times (expected ~1000)" i c)
+    buckets
+
+(* --- reorder hold slots flushed on quiesce (regression) --------------- *)
+
+let test_quiesce_flushes_held_packets () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  let link = Link.create ~clock ~cost:Simnet.Cost.default ~stats in
+  let fault = Fault.create ~seed:"quiesce-unit" () in
+  Link.set_fault link (Some fault);
+  Fault.set_net fault { Fault.drop = 0.0; duplicate = 0.0; reorder = 1.0; corrupt = 0.0 };
+  Alcotest.(check (list string)) "packet parked in the hold slot" []
+    (Link.send link ~flow:3 "held");
+  Alcotest.(check int) "one packet flushed" 1 (Link.quiesce link);
+  Alcotest.(check int) "accounted under quiesce drops" 1
+    (Stats.get stats "link.quiesce_drops");
+  Alcotest.(check bool) "and under total drops" true (Stats.get stats "link.drops" >= 1);
+  Alcotest.(check (float 1e-9)) "flow wire marked idle" 0.0 (Link.busy_until link 3);
+  Alcotest.(check int) "nothing left to flush" 0 (Link.quiesce link);
+  (* The packet is really gone: the next send on the flow is not
+     preceded by the stale hold. *)
+  Fault.set_net fault Fault.no_net;
+  Alcotest.(check (list string)) "held packet did not resurface" [ "fresh" ]
+    (Link.send link ~flow:3 "fresh")
+
+let test_crash_flushes_held_packets () =
+  (* End to end: a packet parked for reordering when the server
+     crashes must die with it — before the fix it lingered invisibly
+     into the next incarnation, neither delivered nor counted. *)
+  let fault = Fault.create ~seed:"crash-flush" () in
+  let d = Deploy.make ~fault ~seed:"crash-flush-deploy" () in
+  let alice = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 () in
+  ignore alice;
+  Fault.set_net fault { Fault.drop = 0.0; duplicate = 0.0; reorder = 1.0; corrupt = 0.0 };
+  Alcotest.(check (list string)) "packet held at crash time" []
+    (Link.send d.Deploy.link ~flow:5 "in-flight");
+  Fault.set_net fault Fault.no_net;
+  Deploy.crash_and_restart d;
+  Alcotest.(check int) "held packet flushed as a drop" 1
+    (Stats.get d.Deploy.stats "link.quiesce_drops")
+
 let suite =
   [
     Alcotest.test_case "link fault actions" `Quick test_link_fault_actions;
@@ -421,4 +535,10 @@ let suite =
     Alcotest.test_case "client auto-rekey at soft lifetime" `Quick test_client_auto_rekey;
     Alcotest.test_case "disk fault maps to EIO" `Quick test_disk_fault_maps_to_eio;
     Alcotest.test_case "e2e: 5% loss + server crash" `Quick test_e2e_loss_and_crash;
+    Alcotest.test_case "lossy profile normalized onto simplex" `Quick test_lossy_normalized;
+    QCheck_alcotest.to_alcotest prop_lossy_simplex;
+    Alcotest.test_case "int_below has no modulo bias" `Quick test_int_below_unbiased;
+    Alcotest.test_case "quiesce flushes reorder holds" `Quick
+      test_quiesce_flushes_held_packets;
+    Alcotest.test_case "crash flushes held packets" `Quick test_crash_flushes_held_packets;
   ]

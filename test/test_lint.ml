@@ -32,6 +32,24 @@ let test_determinism () =
   Alcotest.(check (list string)) "only determinism" [ "determinism" ] (rule_names fs);
   Alcotest.(check int) "Random, Sys.time, Hashtbl.hash, Marshal" 4 (List.length fs)
 
+let test_strict_determinism () =
+  (* The fixture opts in via "discfs-lint: require strict-determinism";
+     the rule is in no role's default set. *)
+  let fs = check "Bad_sched_determinism" in
+  Alcotest.(check (list string)) "only strict-determinism" [ "strict-determinism" ]
+    (rule_names fs);
+  Alcotest.(check int) "iter, fold, to_seq" 3 (List.length fs);
+  (* Even the Exe role honours the in-file requirement... *)
+  Alcotest.(check int) "required regardless of role" 3
+    (List.length (check ~role:Lint.Rules.Exe "Bad_sched_determinism"));
+  (* ...and plain library code may still iterate tables freely (the
+     clean fixture's role gating is covered elsewhere; here: no other
+     fixture trips the strict rule). *)
+  Alcotest.(check (list string)) "require directive parsed from source"
+    [ "strict-determinism" ]
+    (List.map Lint.Rules.rule_name
+       (Lint.Rules.required_rules "../test/lint_fixtures/bad_sched_determinism.ml"))
+
 let test_no_print () =
   let fs = check "Bad_print" in
   Alcotest.(check (list string)) "only no-print" [ "no-print" ] (rule_names fs);
@@ -263,6 +281,7 @@ let test_store_parse_error () =
 let suite =
   [
     ("pass-a: determinism", `Quick, test_determinism);
+    ("pass-a: strict-determinism", `Quick, test_strict_determinism);
     ("pass-a: no-print", `Quick, test_no_print);
     ("pass-a: poly-compare", `Quick, test_poly_compare);
     ("pass-a: secret-flow", `Quick, test_secret_flow);

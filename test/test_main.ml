@@ -21,5 +21,6 @@ let () =
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
       ("cache", Test_cache.suite);
+      ("conc", Test_conc.suite);
       ("bonnie", Test_bonnie.suite);
     ]

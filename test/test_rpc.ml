@@ -263,6 +263,40 @@ let test_replay_window_unit () =
   Alcotest.(check bool) "recent 90" true (Ipsec.Sa.replay_check sa 90);
   Alcotest.(check bool) "zero invalid" false (Ipsec.Sa.replay_check sa 0)
 
+(* --- xid allocation (regression) -------------------------------------- *)
+
+let test_xid_bands_disjoint () =
+  (* The old allocator gave client [c] the xids [c * 1_000_000 + seq]:
+     client 1's call 1_500_000 and client 2's call 500_000 shared xid
+     2_500_000, so with matching (peer, proc) their DRC entries
+     aliased and one client could be answered from the other's cached
+     reply. The banded layout keeps clients in disjoint xid ranges
+     forever. *)
+  let old_xid client seq = (client * 1_000_000) + seq in
+  Alcotest.(check int) "old scheme collides across clients"
+    (old_xid 1 1_500_000) (old_xid 2 500_000);
+  Alcotest.(check bool) "banded scheme does not" true
+    (Rpc.make_xid ~client_id:1 ~seq:1_500_000 <> Rpc.make_xid ~client_id:2 ~seq:500_000);
+  (* A client's sequence wraps inside its own 20-bit band instead of
+     marching into the neighbour's range. *)
+  Alcotest.(check int) "seq wraps in-band"
+    (Rpc.make_xid ~client_id:3 ~seq:0)
+    (Rpc.make_xid ~client_id:3 ~seq:(1 lsl 20));
+  Alcotest.(check bool) "xid fits uint32" true
+    (Rpc.make_xid ~client_id:4095 ~seq:((1 lsl 20) - 1) < 1 lsl 32)
+
+let prop_xid_bands_disjoint =
+  QCheck.Test.make ~name:"xids from distinct clients never collide" ~count:500
+    (QCheck.make
+       ~print:(fun (c1, c2, s1, s2) -> Printf.sprintf "c%d/%d c%d/%d" c1 s1 c2 s2)
+       QCheck.Gen.(
+         quad (int_range 0 4095) (int_range 0 4095) (int_range 0 10_000_000)
+           (int_range 0 10_000_000)))
+    (fun (c1, c2, s1, s2) ->
+      let x1 = Rpc.make_xid ~client_id:c1 ~seq:s1
+      and x2 = Rpc.make_xid ~client_id:c2 ~seq:s2 in
+      x1 >= 0 && x1 < 1 lsl 32 && (c1 = c2 || x1 <> x2))
+
 let suite =
   [
     Alcotest.test_case "xdr integers" `Quick test_xdr_ints;
@@ -280,4 +314,6 @@ let suite =
     Alcotest.test_case "rpc over esp channel" `Quick test_rpc_over_esp;
     Alcotest.test_case "esp 3des transform" `Quick test_esp_tdes_transform;
     Alcotest.test_case "replay window" `Quick test_replay_window_unit;
+    Alcotest.test_case "xid bands are disjoint" `Quick test_xid_bands_disjoint;
+    QCheck_alcotest.to_alcotest prop_xid_bands_disjoint;
   ]
