@@ -14,6 +14,10 @@
                                                          (caching stack cold/warm)
           dune exec bench/main.exe -- concurrency_scaling [--json PATH]
                                                          (multi-client worker pool)
+          dune exec bench/main.exe -- slo [--smoke] [--json PATH]
+                                                         (open-loop SLO sweep, boot storm,
+                                                          long-horizon churn; default JSON
+                                                          output BENCH_slo.json)
           dune exec bench/main.exe -- trace              (JSONL span dump)
 *)
 
@@ -698,6 +702,192 @@ let trace_dump () =
       (Trace.dropped trace)
 
 (* ------------------------------------------------------------------ *)
+(* SLO: open-loop sweep, boot storm, long-horizon churn                *)
+(* ------------------------------------------------------------------ *)
+
+module Slo = Load.Slo
+module Scenario = Load.Scenario
+
+type slo_params = {
+  sl_rates : float list;
+  sl_duration : float;
+  sl_clients : int;
+  sl_storm_clients : int;
+  sl_storm_dirs : int;
+  sl_storm_files : int;
+  sl_churn : Scenario.churn_spec;
+}
+
+let slo_params ~smoke =
+  if smoke then
+    {
+      sl_rates = [ 40.0; 120.0 ];
+      sl_duration = 1.5;
+      sl_clients = 4;
+      sl_storm_clients = 12;
+      sl_storm_dirs = 2;
+      sl_storm_files = 2;
+      sl_churn =
+        {
+          Scenario.default_churn with
+          Scenario.cs_rate = 1.0;
+          cs_duration = 120.0;
+          cs_initial_clients = 3;
+          cs_join_every = 30.0;
+          cs_leave_every = 45.0;
+          cs_crash_at = Some 60.0;
+          cs_sa_lifetime = Some 16;
+          cs_retry =
+            Some { Oncrpc.Rpc.base_timeout = 0.4; backoff = 2.0; max_attempts = 5; jitter = 0.1 };
+        };
+    }
+  else
+    {
+      sl_rates = [ 50.0; 100.0; 200.0; 300.0; 400.0; 600.0 ];
+      sl_duration = 10.0;
+      sl_clients = 8;
+      sl_storm_clients = 200;
+      sl_storm_dirs = 4;
+      sl_storm_files = 4;
+      sl_churn = Scenario.default_churn;
+    }
+
+let slo_run p =
+  let points, knee =
+    Scenario.sweep ~clients:p.sl_clients ~duration:p.sl_duration ~rates:p.sl_rates ()
+  in
+  let storm =
+    Scenario.boot_storm ~clients:p.sl_storm_clients ~dirs:p.sl_storm_dirs
+      ~files_per_dir:p.sl_storm_files ()
+  in
+  let churn = Scenario.churn ~spec:p.sl_churn () in
+  (points, knee, storm, churn)
+
+let render_slo p (points, knee, storm, churn) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "  -- latency vs offered load (%d clients, Poisson arrivals, %gs horizon) --"
+    p.sl_clients p.sl_duration;
+  line "  %-9s %7s %5s %5s %9s %9s %6s %8s %8s  %s" "offered/s" "ops" "done" "fail"
+    "span(s)" "ach/s" "qpeak" "rejects" "retrans" "latency";
+  List.iter
+    (fun sp ->
+      line "  %-9g %7d %5d %5d %9.3f %9.1f %6d %8d %8d  %s" sp.Scenario.sp_rate
+        sp.Scenario.sp_offered sp.Scenario.sp_completed sp.Scenario.sp_failed
+        sp.Scenario.sp_makespan sp.Scenario.sp_throughput sp.Scenario.sp_qpeak
+        sp.Scenario.sp_rejects sp.Scenario.sp_retrans
+        (Slo.render sp.Scenario.sp_summary))
+    points;
+  (match knee with
+  | Some i ->
+    let sp = List.nth points i in
+    line "  knee: %g offered ops/s sustained (achieved %.1f, zero failures)"
+      sp.Scenario.sp_rate sp.Scenario.sp_throughput
+  | None -> line "  knee: not sustained even at the lowest offered rate");
+  line "  -- boot storm: %d clients walk one %d-file read-only subtree at once --"
+    storm.Scenario.st_clients storm.Scenario.st_tree_files;
+  line "  ops=%d fail=%d makespan=%.3fs spread=%.3fs qpeak=%d rejects=%d retrans=%d"
+    storm.Scenario.st_ops storm.Scenario.st_failed storm.Scenario.st_makespan
+    storm.Scenario.st_spread storm.Scenario.st_qpeak storm.Scenario.st_rejects
+    storm.Scenario.st_retrans;
+  line "  per-op latency: %s" (Slo.render storm.Scenario.st_summary);
+  line "  bcache %d/%d hits, policy memo %d hits / %d cold evaluations"
+    storm.Scenario.st_bcache_hits
+    (storm.Scenario.st_bcache_hits + storm.Scenario.st_bcache_misses)
+    storm.Scenario.st_policy_hits storm.Scenario.st_policy_queries;
+  line "  -- churn: %gs horizon at %g ops/s, joins/leaves/crash/rekeys under load --"
+    p.sl_churn.Scenario.cs_duration p.sl_churn.Scenario.cs_rate;
+  line
+    "  offered=%d completed=%d failed=%d joins=%d leaves=%d crashes=%d reattaches=%d \
+     rekeys=%d active_at_end=%d"
+    churn.Scenario.ch_offered churn.Scenario.ch_completed churn.Scenario.ch_failed
+    churn.Scenario.ch_joins churn.Scenario.ch_leaves churn.Scenario.ch_crashes
+    churn.Scenario.ch_reattaches churn.Scenario.ch_rekeys churn.Scenario.ch_final_active;
+  line "  latency: %s" (Slo.render churn.Scenario.ch_summary);
+  Buffer.contents buf
+
+let slo_json p (points, knee, storm, churn) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add
+    "  \"workload\": \"open-loop Poisson arrivals, 1:2:1 GETATTR/READ/WRITE mix over \
+     pooled DisCFS server\",\n";
+  add "  \"sweep\": {\n";
+  add "    \"clients\": %d, \"workers\": 4, \"queue_depth\": 64, \"duration_s\": %.9g,\n"
+    p.sl_clients p.sl_duration;
+  add "    \"points\": [\n";
+  let n = List.length points in
+  List.iteri
+    (fun i sp ->
+      add
+        "      {\"offered_rate\": %.9g, \"offered\": %d, \"completed\": %d, \"failed\": \
+         %d, \"makespan_s\": %.9g, \"achieved_rate\": %.9g, \"queue_peak\": %d, \
+         \"queue_rejects\": %d, \"retransmits\": %d, \"latency\": %s}%s\n"
+        sp.Scenario.sp_rate sp.Scenario.sp_offered sp.Scenario.sp_completed
+        sp.Scenario.sp_failed sp.Scenario.sp_makespan sp.Scenario.sp_throughput
+        sp.Scenario.sp_qpeak sp.Scenario.sp_rejects sp.Scenario.sp_retrans
+        (Slo.summary_json sp.Scenario.sp_summary)
+        (if i = n - 1 then "" else ","))
+    points;
+  add "    ],\n";
+  (match knee with
+  | Some i -> add "    \"knee_offered_rate\": %.9g\n" (List.nth points i).Scenario.sp_rate
+  | None -> add "    \"knee_offered_rate\": null\n");
+  add "  },\n";
+  add "  \"boot_storm\": {\n";
+  add "    \"clients\": %d, \"tree_files\": %d, \"ops\": %d, \"failed\": %d,\n"
+    storm.Scenario.st_clients storm.Scenario.st_tree_files storm.Scenario.st_ops
+    storm.Scenario.st_failed;
+  add "    \"makespan_s\": %.9g, \"finish_spread_s\": %.9g,\n" storm.Scenario.st_makespan
+    storm.Scenario.st_spread;
+  add "    \"bcache_hits\": %d, \"bcache_misses\": %d, \"policy_hits\": %d, \
+       \"policy_queries\": %d,\n"
+    storm.Scenario.st_bcache_hits storm.Scenario.st_bcache_misses
+    storm.Scenario.st_policy_hits storm.Scenario.st_policy_queries;
+  add "    \"queue_peak\": %d, \"queue_rejects\": %d, \"retransmits\": %d,\n"
+    storm.Scenario.st_qpeak storm.Scenario.st_rejects storm.Scenario.st_retrans;
+  add "    \"latency\": %s\n" (Slo.summary_json storm.Scenario.st_summary);
+  add "  },\n";
+  add "  \"churn\": {\n";
+  add "    \"rate\": %.9g, \"duration_s\": %.9g, \"offered\": %d, \"completed\": %d, \
+       \"failed\": %d,\n"
+    p.sl_churn.Scenario.cs_rate p.sl_churn.Scenario.cs_duration churn.Scenario.ch_offered
+    churn.Scenario.ch_completed churn.Scenario.ch_failed;
+  add "    \"joins\": %d, \"leaves\": %d, \"crashes\": %d, \"reattaches\": %d, \
+       \"rekeys\": %d, \"active_at_end\": %d,\n"
+    churn.Scenario.ch_joins churn.Scenario.ch_leaves churn.Scenario.ch_crashes
+    churn.Scenario.ch_reattaches churn.Scenario.ch_rekeys churn.Scenario.ch_final_active;
+  add "    \"client_id_allocations\": %d, \"executed_pool_jobs\": %d,\n"
+    (List.length churn.Scenario.ch_client_ids)
+    churn.Scenario.ch_executed;
+  add "    \"latency\": %s\n" (Slo.summary_json churn.Scenario.ch_summary);
+  add "  }\n}\n";
+  Buffer.contents buf
+
+let slo_bench ?json ~smoke () =
+  say "@.SLO: open-loop load generation, percentile latency, knee location";
+  say "  (arrivals fire on the virtual clock regardless of completions;";
+  say "   latency is arrival-to-completion, so queueing counts. All";
+  say "   virtual time, seeded: the tables are byte-reproducible.)";
+  let p = slo_params ~smoke in
+  let results = slo_run p in
+  let first = render_slo p results in
+  print_string first;
+  (* Fresh deployments, same seeds: everything must reproduce exactly. *)
+  let second = render_slo p (slo_run p) in
+  say "  deterministic across two runs: %s"
+    (if String.equal first second then "yes" else "NO");
+  if not (String.equal first second) then exit 1;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (slo_json p results);
+    close_out oc;
+    say "  wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: one Test.make per figure + micro-costs (A3)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -883,6 +1073,18 @@ let () =
       find argv
     in
     concurrency_scaling ?json ();
+    say "@.done."
+  end
+  else if has "slo" then begin
+    let json =
+      let rec find = function
+        | "--json" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> Some "BENCH_slo.json"
+      in
+      find argv
+    in
+    slo_bench ?json ~smoke:(has "--smoke") ();
     say "@.done."
   end
   else if has "trace" then trace_dump ()

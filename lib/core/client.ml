@@ -103,10 +103,21 @@ let reattach t ~rpc ~server () =
   | Some (prog, vers, proc, args) -> (
     try ignore (Rpc.call t.rpc ~prog ~vers ~proc args) with Rpc.Rpc_error _ -> ()))
 
+(* Leaving is client-initiated and needs no server cooperation: the
+   SAs are forgotten on this side, and any later use of the handle is
+   a bug poisoned at the call gate. The server's per-connection state
+   (DRC entries, policy-memo rows) ages out on its own — exactly the
+   lazily-shed state the paper credits DisCFS for. *)
+let detach t =
+  t.endpoints <- None;
+  Rpc.set_before_call t.rpc (fun () ->
+      raise (Discfs_error "client is detached"))
+
 let nfs t = t.nfs
 let root t = t.root
 let principal t = t.principal
 let server_principal t = t.server_principal
+let client_id t = Rpc.client_id t.rpc
 
 let discfs_call t ~proc body =
   let e = Xdr.Enc.create () in

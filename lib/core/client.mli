@@ -39,6 +39,19 @@ val rekey : t -> unit
 (** Force an immediate SA refresh (normally automatic once
     [sa_lifetime] packets have been sealed). *)
 
+val detach : t -> unit
+(** Leave: drop the SAs and poison the handle — any further call
+    raises {!Discfs_error}.  Purely client-side (no unmount protocol
+    exists, as with real NFS clients that just go away); the server's
+    per-connection state ages out of its caches. *)
+
+val client_id : t -> int
+(** The RPC-layer client id of the current connection
+    ({!Oncrpc.Rpc.client_id}): the xid band this client stamps on
+    every call.  Changes on {!reattach} (the new server incarnation
+    allocates afresh); unique among live connections to one
+    incarnation. *)
+
 val nfs : t -> Nfs.Client.t
 val root : t -> Nfs.Proto.fh
 val principal : t -> string

@@ -99,8 +99,21 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
 let new_identity t = Dsa.generate_key t.drbg
 
 let attach t ~identity ?uid ?path ?cipher ?sa_lifetime ?retry () =
+  Stats.incr t.stats "client.attaches";
   Client.attach ~link:t.link ~rpc:t.rpc ~server:t.server ~identity
     ~drbg:(Drbg.fork t.drbg ~label:"attach") ?uid ?path ?cipher ?sa_lifetime ?retry ()
+
+(* Churn hooks: a client leaving the deployment, and one rejoining the
+   current server incarnation after a crash. Both are thin — the work
+   lives in {!Client} — but counting them here gives the long-horizon
+   scenarios one stats namespace for membership events. *)
+let detach t c =
+  Stats.incr t.stats "client.detaches";
+  Client.detach c
+
+let reattach t c =
+  Stats.incr t.stats "client.reattaches";
+  Client.reattach c ~rpc:t.rpc ~server:t.server ()
 
 (* Kill the server process and boot a fresh incarnation from stable
    storage. The disk image and the credential/audit state survive (the

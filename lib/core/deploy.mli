@@ -91,7 +91,19 @@ val attach :
   ?retry:Oncrpc.Rpc.retry ->
   unit ->
   Client.t
-(** IKE + mount, as the paper's cattach. *)
+(** IKE + mount, as the paper's cattach. Counted under
+    ["client.attaches"]. *)
+
+val detach : t -> Client.t -> unit
+(** A client leaves: {!Client.detach} plus the ["client.detaches"]
+    stat. The churn scenarios drive membership through this and
+    {!attach}/{!reattach} so joins/leaves/recoveries share one
+    counter namespace. *)
+
+val reattach : t -> Client.t -> unit
+(** Re-home a client onto the current server incarnation after
+    {!crash_and_restart}: {!Client.reattach} against [t.rpc]/
+    [t.server], counted under ["client.reattaches"]. *)
 
 val crash_and_restart : t -> unit
 (** Simulate a server crash and reboot: the disk image and the

@@ -1,0 +1,438 @@
+(* The three traffic-realism scenario programs: a latency-vs-offered-
+   load sweep that locates the knee, a boot storm (hundreds of clients
+   walking one read-only subtree at once), and a long-horizon churn
+   run with joins, leaves, a mid-run server crash and SA rekeys under
+   load. Everything runs on the virtual clock from seeded state, so a
+   whole "day" of traffic is deterministic and replayable. *)
+
+module Sched = Simnet.Sched
+module Clock = Simnet.Clock
+module Stats = Simnet.Stats
+module Arrival = Simnet.Arrival
+module Metrics = Trace.Metrics
+module Deploy = Discfs.Deploy
+module Client = Discfs.Client
+
+(* The shared op mix, same 1:2:1 GETATTR/READ/WRITE blend as the
+   concurrency benchmark, against a per-client 8 KB file. *)
+let mixed_op nfs fh i =
+  match i mod 4 with
+  | 0 -> ignore (Nfs.Client.write nfs fh ~off:(i * 1024 mod 8192) (String.make 1024 'y'))
+  | 1 -> ignore (Nfs.Client.getattr nfs fh)
+  | _ -> ignore (Nfs.Client.read nfs fh ~off:(i * 2048 mod 8192) ~count:2048)
+
+let attach_with_file d ~uid ?sa_lifetime ?retry name =
+  let c = Deploy.attach d ~identity:d.Deploy.admin ~uid ?sa_lifetime ?retry () in
+  let fh, _, _ = Client.create c ~dir:(Client.root c) name () in
+  Nfs.Client.write_all (Client.nfs c) fh (String.make 8192 'x');
+  (c, fh)
+
+(* ------------------------------------------------------------------ *)
+(* Latency vs offered load                                             *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_point = {
+  sp_rate : float;
+  sp_offered : int;
+  sp_completed : int;
+  sp_failed : int;
+  sp_makespan : float;
+  sp_throughput : float;
+  sp_summary : Slo.summary;
+  sp_qpeak : int;
+  sp_rejects : int;
+  sp_retrans : int;
+}
+
+let sweep_one ~seed ~clients ~workers ~queue_depth ~duration rate =
+  let d = Deploy.make ~workers ~queue_depth ~seed () in
+  let sched = Option.get d.Deploy.sched in
+  let conns =
+    Array.init clients (fun i ->
+        attach_with_file d ~uid:i (Printf.sprintf "c%d.dat" i))
+  in
+  let ops = max 1 (int_of_float (rate *. duration)) in
+  let arrivals =
+    Arrival.create
+      ~seed:(Printf.sprintf "%s-r%g" seed rate)
+      (Arrival.Poisson { rate })
+  in
+  let gen =
+    Gen.offer ~sched ~arrivals ~ops ~channels:clients
+      ~op:(fun i ->
+        let c, fh = conns.(i mod clients) in
+        try
+          mixed_op (Client.nfs c) fh i;
+          true
+        with Oncrpc.Rpc.Rpc_timeout _ -> false)
+      ()
+  in
+  Sched.run sched;
+  let get k = Stats.get d.Deploy.stats k in
+  {
+    sp_rate = rate;
+    sp_offered = gen.Gen.offered;
+    sp_completed = gen.Gen.completed;
+    sp_failed = gen.Gen.failed;
+    sp_makespan = Gen.makespan gen;
+    sp_throughput = Gen.throughput gen;
+    sp_summary = Slo.of_histogram gen.Gen.latencies;
+    sp_qpeak = Oncrpc.Rpc.queue_peak d.Deploy.rpc;
+    sp_rejects = get "rpc.queue_rejects";
+    sp_retrans = get "rpc.retransmits";
+  }
+
+let sweep ?(seed = "slo-sweep") ?(clients = 8) ?(workers = 4)
+    ?(queue_depth = 64) ?(duration = 20.0) ~rates () =
+  let points =
+    List.map (sweep_one ~seed ~clients ~workers ~queue_depth ~duration) rates
+  in
+  let knee =
+    Slo.knee
+      (List.map (fun p -> (p.sp_rate, p.sp_throughput, p.sp_failed)) points)
+  in
+  (points, knee)
+
+(* ------------------------------------------------------------------ *)
+(* Boot storm                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type storm_report = {
+  st_clients : int;
+  st_tree_files : int;
+  st_ops : int;
+  st_failed : int;
+  st_makespan : float;
+  st_spread : float;
+  st_summary : Slo.summary;
+  st_bcache_hits : int;
+  st_bcache_misses : int;
+  st_policy_hits : int;
+  st_policy_queries : int;
+  st_qpeak : int;
+  st_rejects : int;
+  st_retrans : int;
+}
+
+(* Every client walks the same read-only subtree at once — the
+   morning-login convoy. All LOOKUP/READDIR/GETATTR/READ, so the
+   buffer cache and the policy memo should turn N walks into roughly
+   one disk walk; per-client finish spread exposes worker-pool
+   fairness (a starved client finishes long after the pack). *)
+let boot_storm ?(seed = "slo-storm") ?(clients = 200) ?(dirs = 4)
+    ?(files_per_dir = 4) ?(workers = 4) ?(queue_depth = 64) () =
+  let d =
+    Deploy.make ~workers ~queue_depth ~seed ~cache_blocks:4096 ~readahead:8
+      ~cache_size:256 ()
+  in
+  let sched = Option.get d.Deploy.sched in
+  let clock = d.Deploy.clock in
+  (* The admin builds the shared tree once, serially. *)
+  let admin = Deploy.attach d ~identity:d.Deploy.admin ~uid:0 () in
+  for dir = 0 to dirs - 1 do
+    let dh, _, _ =
+      Client.mkdir admin ~dir:(Client.root admin) (Printf.sprintf "d%d" dir) ()
+    in
+    for f = 0 to files_per_dir - 1 do
+      let fh, _, _ = Client.create admin ~dir:dh (Printf.sprintf "f%d.dat" f) () in
+      Nfs.Client.write_all (Client.nfs admin) fh (String.make 2048 'b')
+    done
+  done;
+  let walkers =
+    Array.init clients (fun i -> Deploy.attach d ~identity:d.Deploy.admin ~uid:(1 + i) ())
+  in
+  let hist = Metrics.make_histogram Metrics.default_buckets in
+  let ops = ref 0 and failed = ref 0 in
+  let t0 = Clock.now clock in
+  let first_finish = ref infinity and last_finish = ref 0.0 in
+  Array.iter
+    (fun c ->
+      Sched.spawn sched (fun () ->
+          let nfs = Client.nfs c in
+          let step f =
+            let t = Clock.now clock in
+            (try
+               f ();
+               incr ops;
+               Metrics.observe hist (Clock.now clock -. t)
+             with Oncrpc.Rpc.Rpc_timeout _ -> incr failed)
+          in
+          for dir = 0 to dirs - 1 do
+            let dh = ref None in
+            step (fun () ->
+                let fh, _ =
+                  Nfs.Client.lookup nfs (Client.root c) (Printf.sprintf "d%d" dir)
+                in
+                dh := Some fh);
+            match !dh with
+            | None -> ()
+            | Some dh ->
+              step (fun () -> ignore (Nfs.Client.readdir nfs dh));
+              for f = 0 to files_per_dir - 1 do
+                let fh = ref None in
+                step (fun () ->
+                    let h, _ =
+                      Nfs.Client.lookup nfs dh (Printf.sprintf "f%d.dat" f)
+                    in
+                    fh := Some h);
+                match !fh with
+                | None -> ()
+                | Some fh ->
+                  step (fun () -> ignore (Nfs.Client.getattr nfs fh));
+                  step (fun () -> ignore (Nfs.Client.read nfs fh ~off:0 ~count:2048))
+              done
+          done;
+          let fin = Clock.now clock in
+          if fin < !first_finish then first_finish := fin;
+          if fin > !last_finish then last_finish := fin))
+    walkers;
+  Sched.run sched;
+  let get k = Stats.get d.Deploy.stats k in
+  {
+    st_clients = clients;
+    st_tree_files = dirs * files_per_dir;
+    st_ops = !ops;
+    st_failed = !failed;
+    st_makespan = !last_finish -. t0;
+    st_spread =
+      (if !first_finish = infinity then 0.0 else !last_finish -. !first_finish);
+    st_summary = Slo.of_histogram hist;
+    st_bcache_hits = get "bcache.hits";
+    st_bcache_misses = get "bcache.misses";
+    st_policy_hits = get "keynote.cache_hits";
+    st_policy_queries = get "keynote.queries";
+    st_qpeak = Oncrpc.Rpc.queue_peak d.Deploy.rpc;
+    st_rejects = get "rpc.queue_rejects";
+    st_retrans = get "rpc.retransmits";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Long-horizon churn                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type churn_spec = {
+  cs_seed : string;
+  cs_rate : float;
+  cs_duration : float;
+  cs_initial_clients : int;
+  cs_join_every : float;
+  cs_leave_every : float;
+  cs_crash_at : float option;
+  cs_sa_lifetime : int option;
+  cs_workers : int;
+  cs_queue_depth : int;
+  cs_retry : Oncrpc.Rpc.retry option;
+}
+
+let default_churn =
+  {
+    cs_seed = "slo-churn";
+    cs_rate = 2.0;
+    cs_duration = 7200.0;
+    cs_initial_clients = 6;
+    cs_join_every = 300.0;
+    cs_leave_every = 450.0;
+    cs_crash_at = Some 3600.0;
+    cs_sa_lifetime = Some 64;
+    cs_workers = 4;
+    cs_queue_depth = 64;
+    cs_retry = None;
+  }
+
+type churn_report = {
+  ch_offered : int;
+  ch_completed : int;
+  ch_failed : int;
+  ch_hist_count : int;
+  ch_summary : Slo.summary;
+  ch_makespan : float;
+  ch_throughput : float;
+  ch_joins : int;
+  ch_leaves : int;
+  ch_crashes : int;
+  ch_attaches : int;
+  ch_detaches : int;
+  ch_reattaches : int;
+  ch_rekeys : int;
+  ch_executed : int;
+  ch_client_ids : (int * int) list;
+  ch_final_active : int;
+}
+
+type member = {
+  m_client : Client.t;
+  m_fh : Nfs.Proto.fh;
+  m_box : (unit -> unit) option Sched.Mailbox.t;
+  mutable m_epoch : int;
+}
+
+(* Membership changes while load keeps arriving: joins attach a fresh
+   client mid-run, leaves drain a member's queued work then detach it,
+   and the optional crash kills the server under traffic — members
+   discover the new incarnation lazily, on their first timeout, and
+   re-home with {!Deploy.reattach}. Client-id allocation is
+   per-incarnation, so the uniqueness law the tests pin is over
+   (incarnation, id) pairs, recorded here in allocation order. *)
+let churn ?(spec = default_churn) () =
+  let s = spec in
+  if s.cs_initial_clients < 1 then invalid_arg "churn: need a client";
+  let d =
+    Deploy.make ~workers:s.cs_workers ~queue_depth:s.cs_queue_depth
+      ~seed:s.cs_seed ()
+  in
+  let sched = Option.get d.Deploy.sched in
+  let clock = d.Deploy.clock in
+  let ids = ref [] in
+  let joins = ref 0 and leaves = ref 0 in
+  let active : member list ref = ref [] in
+  let mk_member ~uid name =
+    let c, fh =
+      attach_with_file d ~uid ?sa_lifetime:s.cs_sa_lifetime ?retry:s.cs_retry
+        name
+    in
+    ids := (d.Deploy.restarts, Client.client_id c) :: !ids;
+    { m_client = c; m_fh = fh; m_box = Sched.Mailbox.create (); m_epoch = d.Deploy.restarts }
+  in
+  let ops = max 1 (int_of_float (s.cs_rate *. s.cs_duration)) in
+  let arrivals =
+    Arrival.create ~seed:s.cs_seed (Arrival.Poisson { rate = s.cs_rate })
+  in
+  let times = Arrival.times arrivals ~n:ops in
+  let gen = Gen.create ~ops () in
+  let run_op m i = mixed_op (Client.nfs m.m_client) m.m_fh i in
+  let do_op m i started =
+    let ok =
+      try
+        run_op m i;
+        true
+      with
+      | Oncrpc.Rpc.Rpc_timeout _ ->
+        (* A timeout against a newer incarnation means the server we
+           attached to is gone: re-home, then retry once (the replay
+           plus this retry are both absorbed by at-least-once
+           semantics — the mix is idempotent). *)
+        if d.Deploy.restarts > m.m_epoch then (
+          try
+            Deploy.reattach d m.m_client;
+            m.m_epoch <- d.Deploy.restarts;
+            ids := (d.Deploy.restarts, Client.client_id m.m_client) :: !ids;
+            run_op m i;
+            true
+          with Oncrpc.Rpc.Rpc_timeout _ | Client.Discfs_error _ -> false)
+        else false
+      | Client.Discfs_error _ -> false
+    in
+    Gen.complete gen clock ~started ok
+  in
+  (* Initial population, serially: setup spends virtual time, so the
+     arrival clock's origin is taken only once it is done. *)
+  for i = 0 to s.cs_initial_clients - 1 do
+    let m = mk_member ~uid:i (Printf.sprintf "c%d.dat" i) in
+    active := !active @ [ m ]
+  done;
+  let base = Clock.now clock in
+  let last_arrival = base +. times.(ops - 1) in
+  let horizon = times.(ops - 1) +. 7200.0 in
+  gen.Gen.first_arrival <- base +. times.(0);
+  let spawn_drain m =
+    Sched.spawn sched (fun () ->
+        let rec loop () =
+          match Sched.Mailbox.take sched m.m_box ~timeout:horizon with
+          | Some (Some job) ->
+            job ();
+            loop ()
+          | Some None -> Deploy.detach d m.m_client
+          | None -> failwith "Scenario.churn: drain starved"
+        in
+        loop ())
+  in
+  List.iter spawn_drain !active;
+  (* Arrivals: each picks an active member round-robin at its own
+     instant, so membership changes steer traffic as they would a
+     load balancer's backend list. *)
+  for i = 0 to ops - 1 do
+    let ti = base +. times.(i) in
+    ignore
+      (Sched.spawn_at sched ti (fun () ->
+           match !active with
+           | [] -> Gen.complete gen clock ~started:ti false
+           | l ->
+             let m = List.nth l (i mod List.length l) in
+             Sched.Mailbox.push sched m.m_box (Some (fun () -> do_op m i ti))))
+  done;
+  (* Joins. A join mid-crash can time out; it is skipped, not fatal. *)
+  if s.cs_join_every > 0.0 then begin
+    let t = ref s.cs_join_every in
+    let k = ref 0 in
+    while !t < s.cs_duration do
+      let at = base +. !t and j = !k in
+      ignore
+        (Sched.spawn_at sched at (fun () ->
+             match
+               try
+                 Some
+                   (mk_member ~uid:(1000 + j) (Printf.sprintf "j%d.dat" j))
+               with Oncrpc.Rpc.Rpc_timeout _ | Client.Discfs_error _ -> None
+             with
+             | None -> ()
+             | Some m ->
+               incr joins;
+               active := !active @ [ m ];
+               spawn_drain m));
+      t := !t +. s.cs_join_every;
+      incr k
+    done
+  end;
+  (* Leaves: the oldest member drains its queue and detaches. *)
+  if s.cs_leave_every > 0.0 then begin
+    let t = ref s.cs_leave_every in
+    while !t < s.cs_duration do
+      let at = base +. !t in
+      ignore
+        (Sched.spawn_at sched at (fun () ->
+             match !active with
+             | m :: (_ :: _ as rest) ->
+               incr leaves;
+               active := rest;
+               Sched.Mailbox.push sched m.m_box None
+             | _ -> ()));
+      t := !t +. s.cs_leave_every
+    done
+  end;
+  (match s.cs_crash_at with
+  | None -> ()
+  | Some t ->
+    ignore
+      (Sched.spawn_at sched (base +. t) (fun () -> Deploy.crash_and_restart d)));
+  (* End of horizon: stop every member still active. Queued jobs sit
+     ahead of the stop in each mailbox, so nothing offered is lost. *)
+  ignore
+    (Sched.spawn_at sched (last_arrival +. 60.0) (fun () ->
+         List.iter (fun m -> Sched.Mailbox.push sched m.m_box None) !active;
+         active := []));
+  let final_active = ref 0 in
+  ignore
+    (Sched.spawn_at sched (last_arrival +. 59.0) (fun () ->
+         final_active := List.length !active));
+  Sched.run sched;
+  let get k = Stats.get d.Deploy.stats k in
+  let service = Metrics.histogram d.Deploy.metrics "rpc.queue.service" in
+  {
+    ch_offered = gen.Gen.offered;
+    ch_completed = gen.Gen.completed;
+    ch_failed = gen.Gen.failed;
+    ch_hist_count = Metrics.count gen.Gen.latencies;
+    ch_summary = Slo.of_histogram gen.Gen.latencies;
+    ch_makespan = Gen.makespan gen;
+    ch_throughput = Gen.throughput gen;
+    ch_joins = !joins;
+    ch_leaves = !leaves;
+    ch_crashes = get "server.restarts";
+    ch_attaches = get "client.attaches";
+    ch_detaches = get "client.detaches";
+    ch_reattaches = get "client.reattaches";
+    ch_rekeys = get "ike.rekeys";
+    ch_executed = Metrics.count service;
+    ch_client_ids = List.rev !ids;
+    ch_final_active = !final_active;
+  }

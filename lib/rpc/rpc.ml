@@ -222,6 +222,7 @@ let connect ~link ?(channel = plaintext) ?(peer = "") ?(uid = 0) ?(retry = defau
 
 let set_channel t channel = t.channel <- channel
 let set_before_call t f = t.before_call <- f
+let client_id t = t.id
 
 let take_timeout t =
   let p = t.last_timeout in

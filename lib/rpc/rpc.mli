@@ -136,6 +136,14 @@ val make_xid : client_id:int -> seq:int -> int
     even after one client issues more than 2^20 calls (its sequence
     wraps within its own band). Exposed for the regression tests. *)
 
+val client_id : client -> int
+(** The id {!connect} allocated from the server's monotonic
+    per-incarnation counter — the top bits of every xid this client
+    sends ({!make_xid}).  Distinct across all clients of one server
+    incarnation, which is what the churn tests assert: no xid band is
+    ever reused while a duplicate-request cache could still hold the
+    old band's replies. *)
+
 val set_channel : client -> channel -> unit
 (** Swap the wire transforms in place — used when the SAs are
     re-keyed mid-connection. *)

@@ -110,6 +110,7 @@ let schedule_after t dt thunk =
   schedule_at t (Clock.now t.clock +. dt) thunk
 
 let cancel ev = ev.cancelled <- true
+let clock t = t.clock
 let in_process t = t.in_process
 let events_run t = t.events_run
 let pending t = t.size
@@ -133,10 +134,14 @@ let handler =
         | _ -> None);
   }
 
-let spawn t f =
-  ignore
-    (schedule_at t (Clock.now t.clock) (fun () ->
-         Effect.Deep.match_with f () handler))
+let spawn_at t time f =
+  schedule_at t time (fun () -> Effect.Deep.match_with f () handler)
+
+let spawn_after t dt f =
+  if dt < 0.0 then invalid_arg "Sched.spawn_after: negative dt";
+  spawn_at t (Clock.now t.clock +. dt) f
+
+let spawn t f = ignore (spawn_at t (Clock.now t.clock) f)
 
 let suspend register = Effect.perform (Suspend register)
 

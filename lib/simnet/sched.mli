@@ -46,6 +46,20 @@ val spawn : t -> (unit -> unit) -> unit
     any [Clock.advance] underneath it) yield to other events. An
     exception escaping the process aborts {!run}. *)
 
+val spawn_at : t -> float -> (unit -> unit) -> handle
+(** {!spawn} at an absolute virtual time (>= now, else
+    [Invalid_argument]). The workhorse of timed workload injection —
+    open-loop arrival events, churn joins/leaves, a scripted mid-run
+    crash — anything that both starts later and spends virtual time
+    (a bare {!schedule_at} thunk must not suspend; a spawned process
+    may). Cancellable until it runs. *)
+
+val spawn_after : t -> float -> (unit -> unit) -> handle
+(** [spawn_after t dt f] = [spawn_at t (now + dt) f]. *)
+
+val clock : t -> Clock.t
+(** The clock this scheduler drives. *)
+
 val run : t -> unit
 (** Execute events in [(time, seq)] order until the heap is empty,
     moving the clock to each event's timestamp. Not re-entrant. *)

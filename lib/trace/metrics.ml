@@ -134,4 +134,50 @@ let quantile h q =
     let i = find 0 in
     if i >= n then infinity else h.h_bounds.(i)
 
+let overflow h = h.h_counts.(Array.length h.h_bounds)
+
+(* Interpolated quantiles with explicit saturation. The legacy
+   {!quantile} silently rounds a quantile up to its bucket's upper
+   bound and collapses the whole overflow bucket to [infinity]; for
+   SLO reporting both are wrong: p99 of a latency histogram must be a
+   value, and a p99 that lands past the last edge must say "at least
+   <edge>", not a clamped finite number. *)
+type quantile_estimate =
+  | Q_empty
+  | Q_at of float
+  | Q_ge of float
+
+let quantile_est h q =
+  if h.h_count = 0 then Q_empty
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    (* Continuous rank in [0, count]; observations are assumed spread
+       uniformly within their bucket. *)
+    let rank = q *. float_of_int h.h_count in
+    let cum = cumulative h in
+    let n = Array.length h.h_bounds in
+    (* First bucket whose cumulative count reaches the rank; a rank of
+       0 resolves to the first non-empty bucket's lower edge. *)
+    let rec find i =
+      if i > n then n
+      else if cum.(i) > 0 && float_of_int cum.(i) >= rank then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    if i >= n then Q_ge h.h_bounds.(n - 1)
+    else begin
+      let lo = if i = 0 then 0. else h.h_bounds.(i - 1) in
+      let hi = h.h_bounds.(i) in
+      let before = if i = 0 then 0. else float_of_int cum.(i - 1) in
+      let here = float_of_int h.h_counts.(i) in
+      let frac = Float.min 1. (Float.max 0. ((rank -. before) /. here)) in
+      Q_at (lo +. ((hi -. lo) *. frac))
+    end
+  end
+
+let quantile_to_string = function
+  | Q_empty -> "n/a"
+  | Q_at v -> Printf.sprintf "%.9g" v
+  | Q_ge edge -> Printf.sprintf ">=%.9g" edge
+
 let histograms t = sorted_bindings t.hists (fun h -> h)

@@ -37,6 +37,12 @@ val default_buckets : float array
 (** 1-2-5 series from 1 microsecond to 100 seconds (25 bounds),
     suitable for virtual-time latencies. *)
 
+val make_histogram : float array -> histogram
+(** A standalone (registry-less) histogram over the given upper
+    bounds, for callers that own their accounting — the load
+    generator's latency records.  Raises [Invalid_argument] unless
+    the bounds are finite and strictly increasing. *)
+
 val histogram : t -> ?buckets:float array -> string -> histogram
 (** Get or create.  [buckets] must be non-empty, finite and strictly
     increasing or [Invalid_argument] is raised; it is ignored when the
@@ -61,7 +67,35 @@ val merge : histogram -> histogram -> histogram
 val quantile : histogram -> float -> float
 (** Upper bound of the bucket containing quantile [q] (clamped to
     [0,1]); [infinity] when it falls in the overflow bucket, [0.] on
-    an empty histogram. *)
+    an empty histogram.  Legacy coarse API — SLO extraction wants
+    {!quantile_est}, which interpolates and keeps saturation
+    explicit. *)
+
+val overflow : histogram -> int
+(** Observations that landed past the last bucket edge (the count in
+    the explicit overflow bucket). *)
+
+(** An extracted quantile.  [Q_at v] interpolates linearly within the
+    bucket the quantile falls in (observations are assumed uniform
+    inside a bucket; the first bucket's lower edge is [0.]).  [Q_ge
+    edge] means the quantile fell in the overflow bucket, so only the
+    lower bound — the last finite edge — is known: report it as
+    ["≥ edge"], never as a clamped finite value.  [Q_empty] is an
+    empty histogram. *)
+type quantile_estimate =
+  | Q_empty
+  | Q_at of float
+  | Q_ge of float
+
+val quantile_est : histogram -> float -> quantile_estimate
+(** Interpolated quantile with saturation semantics; [q] is clamped
+    to [0,1].  [q = 0.] resolves to the lower edge of the first
+    non-empty bucket, [q = 1.] to the upper edge of the last (or
+    [Q_ge] when any observation overflowed past it). *)
+
+val quantile_to_string : quantile_estimate -> string
+(** ["n/a"], a [%.9g] value, or [">=edge"] — deterministic, suitable
+    for byte-reproducible reports. *)
 
 val histograms : t -> (string * histogram) list
 (** Sorted by name. *)

@@ -22,5 +22,6 @@ let () =
       ("trace", Test_trace.suite);
       ("cache", Test_cache.suite);
       ("conc", Test_conc.suite);
+      ("slo", Test_load.suite);
       ("bonnie", Test_bonnie.suite);
     ]
