@@ -18,6 +18,10 @@
                                                          (open-loop SLO sweep, boot storm,
                                                           long-horizon churn; default JSON
                                                           output BENCH_slo.json)
+          dune exec bench/main.exe -- topology [--smoke] [--json PATH]
+                                                         (server-axis scaling over the
+                                                          sharded cluster; default JSON
+                                                          output BENCH_topology.json)
           dune exec bench/main.exe -- trace              (JSONL span dump)
 *)
 
@@ -685,6 +689,189 @@ let concurrency_scaling ?json () =
     say "  wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* T1: topology — the server axis of concurrency scaling              *)
+(* ------------------------------------------------------------------ *)
+
+module Cluster = Discfs.Cluster
+module CC = Discfs.Cluster_client
+module Shard_map = Discfs.Shard_map
+
+type topo_row = {
+  tp_servers : int;
+  tp_clients : int;
+  tp_done : int;
+  tp_failures : int;
+  tp_seconds : float;
+  tp_throughput : float; (* aggregate completed ops per virtual second *)
+  tp_mean_lat : float;
+  tp_redirects : int; (* redirect.sent after the post-run reshard probe *)
+  tp_followed : int;
+  tp_getmaps : int;
+  tp_s2s : int;
+  tp_map_version : int;
+}
+
+(* One cluster: serial setup (bootstrap client creates one 8 KB file
+   per client; each client then attaches HOMED ON ITS FILE'S OWNER
+   with an admin credential for exactly that handle), then the same
+   closed loop as conc_run, overlapped on the shared scheduler. Homing
+   on the owner keeps the steady state redirect-free — each frontend
+   serves its own shards over its own access link and worker pool, so
+   aggregate throughput scales with the server count. After the
+   measured window, a reshard probe moves client 0's shard and replays
+   a few reads, exercising the signed-redirect path under the same
+   deterministic clock. *)
+let topo_run ~servers ~clients ~ops ~workers =
+  let cluster = Cluster.make ~servers ~workers ~queue_depth:64 ~seed:"topo-scaling" () in
+  let sched = Option.get (Cluster.sched cluster) in
+  let clock = Cluster.clock cluster in
+  let boot = CC.attach cluster ~identity:(Cluster.admin_identity cluster) ~uid:0 ~home:0 () in
+  let conns =
+    List.init clients (fun i ->
+        let fh, _, _ = CC.create boot ~dir:(CC.root boot) (Printf.sprintf "t%d.dat" i) () in
+        CC.write_all boot fh (String.make 8192 'x');
+        let owner = Shard_map.owner (Cluster.map cluster) ~ino:fh.Nfs.Proto.ino in
+        let identity = Cluster.new_identity cluster in
+        let cred =
+          Cluster.admin_issue cluster
+            ~licensees:(Printf.sprintf "\"%s\"" (Keynote.Assertion.principal_of_pub identity.Dcrypto.Dsa.pub))
+            ~conditions:
+              (Printf.sprintf "(app_domain == \"DisCFS\") && (HANDLE == \"%d\") -> \"RW\";"
+                 fh.Nfs.Proto.ino)
+            ()
+        in
+        let cc = CC.attach cluster ~identity ~uid:(1000 + i) ~home:owner () in
+        (match CC.submit_credential cc cred with
+        | Ok _ -> ()
+        | Error e -> failwith ("topology: credential refused: " ^ e));
+        (cc, fh))
+  in
+  let t0 = Clock.now clock in
+  let done_ops = ref 0 and failures = ref 0 in
+  let lat_sum = ref 0.0 in
+  List.iter
+    (fun (cc, fh) ->
+      Sched.spawn sched (fun () ->
+          for op = 0 to ops - 1 do
+            let t = Clock.now clock in
+            (try
+               (match op mod 4 with
+               | 0 -> ignore (CC.write cc fh ~off:(op * 1024 mod 8192) (String.make 1024 'y'))
+               | 1 -> ignore (CC.getattr cc fh)
+               | _ -> ignore (CC.read cc fh ~off:(op * 2048 mod 8192) ~count:2048));
+               incr done_ops
+             with Oncrpc.Rpc.Rpc_timeout _ -> incr failures);
+            lat_sum := !lat_sum +. (Clock.now clock -. t)
+          done))
+    conns;
+  Sched.run sched;
+  let seconds = Clock.now clock -. t0 in
+  (* The redirect probe: move the first client's shard and replay
+     reads against its now-stale cached map. *)
+  (if servers > 1 then
+     match conns with
+     | (cc, fh) :: _ ->
+       let m = Cluster.map cluster in
+       let shard = Shard_map.shard_of m ~ino:fh.Nfs.Proto.ino in
+       let owner = Shard_map.owner m ~ino:fh.Nfs.Proto.ino in
+       Cluster.reshard cluster ~shard ~owner:((owner + 1) mod servers);
+       for i = 0 to 2 do
+         ignore (CC.read cc fh ~off:(i * 1024) ~count:1024)
+       done
+     | [] -> ());
+  let get k = Simnet.Stats.get (Cluster.stats cluster) k in
+  {
+    tp_servers = servers;
+    tp_clients = clients;
+    tp_done = !done_ops;
+    tp_failures = !failures;
+    tp_seconds = seconds;
+    tp_throughput = (if seconds = 0.0 then 0.0 else float_of_int !done_ops /. seconds);
+    tp_mean_lat = (if !done_ops = 0 then 0.0 else !lat_sum /. float_of_int !done_ops);
+    tp_redirects = get "redirect.sent";
+    tp_followed = get "redirect.followed";
+    tp_getmaps = get "topo.getmap";
+    tp_s2s = get "topo.s2s_connects";
+    tp_map_version = Shard_map.version (Cluster.map cluster);
+  }
+
+let topo_rows ~smoke () =
+  if smoke then
+    List.map (fun s -> topo_run ~servers:s ~clients:8 ~ops:4 ~workers:2) [ 1; 2 ]
+  else
+    let server_sweep =
+      List.map (fun s -> topo_run ~servers:s ~clients:256 ~ops:12 ~workers:4) [ 1; 2; 4; 8; 16 ]
+    in
+    let client_sweep =
+      List.map (fun n -> topo_run ~servers:8 ~clients:n ~ops:12 ~workers:4) [ 16; 64 ]
+    in
+    (server_sweep, client_sweep)
+    |> fun (a, b) -> a @ b
+
+let render_topo rows =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "  %-8s %-8s %7s %5s %9s %10s %10s %6s %6s %7s %5s %5s" "servers" "clients" "ops"
+    "fail" "time(s)" "ops/s" "mean(ms)" "redir" "follow" "getmap" "s2s" "mapv";
+  List.iter
+    (fun r ->
+      line "  %-8d %-8d %7d %5d %9.3f %10.1f %10.3f %6d %6d %7d %5d %5d" r.tp_servers
+        r.tp_clients r.tp_done r.tp_failures r.tp_seconds r.tp_throughput
+        (r.tp_mean_lat *. 1e3) r.tp_redirects r.tp_followed r.tp_getmaps r.tp_s2s
+        r.tp_map_version)
+    rows;
+  Buffer.contents buf
+
+let topo_json rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "{\n  \"workload\": \"closed-loop GETATTR/READ/WRITE mix, clients homed on their file's \
+     shard owner, plus a post-run reshard redirect probe\",\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"servers\": %d, \"clients\": %d, \"ops_done\": %d, \"failures\": %d, \
+            \"virtual_seconds\": %.6f, \"ops_per_second\": %.3f, \"mean_latency_s\": %.6f, \
+            \"redirects_sent\": %d, \"redirects_followed\": %d, \"getmaps\": %d, \
+            \"s2s_connects\": %d, \"map_version\": %d}%s\n"
+           r.tp_servers r.tp_clients r.tp_done r.tp_failures r.tp_seconds r.tp_throughput
+           r.tp_mean_lat r.tp_redirects r.tp_followed r.tp_getmaps r.tp_s2s r.tp_map_version
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let topology ?(smoke = false) ?json () =
+  say "@.Topology T1: server axis of concurrency scaling (sharded cluster)";
+  say "  (N frontends over one volume, per-host access links, namespace";
+  say "   sharded by handle hash; clients homed on their shard's owner.";
+  say "   All times virtual; the table is byte-reproducible.)";
+  let rows = topo_rows ~smoke () in
+  let first = render_topo rows in
+  print_string first;
+  let second = render_topo (topo_rows ~smoke ()) in
+  say "  deterministic across two runs: %s" (if String.equal first second then "yes" else "NO");
+  (let base = List.find_opt (fun r -> r.tp_servers = 1) rows in
+   let eight =
+     List.find_opt (fun r -> r.tp_servers = 8 && r.tp_clients = (if smoke then 8 else 256)) rows
+   in
+   match (base, eight) with
+   | Some b, Some e when b.tp_throughput > 0.0 ->
+     let speedup = e.tp_throughput /. b.tp_throughput in
+     say "  aggregate speedup at 8 servers / %d clients: %.2fx (target >= 6x: %s)" e.tp_clients
+       speedup
+       (if speedup >= 6.0 then "yes" else "NO")
+   | _ -> ());
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (topo_json rows);
+    close_out oc;
+    say "  wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* O2: trace dump — JSONL spans of a small traced workload             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1085,6 +1272,18 @@ let () =
       find argv
     in
     slo_bench ?json ~smoke:(has "--smoke") ();
+    say "@.done."
+  end
+  else if has "topology" then begin
+    let json =
+      let rec find = function
+        | "--json" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> Some "BENCH_topology.json"
+      in
+      find argv
+    in
+    topology ?json ~smoke:(has "--smoke") ();
     say "@.done."
   end
   else if has "trace" then trace_dump ()

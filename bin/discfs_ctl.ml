@@ -129,6 +129,85 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run a narrated end-to-end demonstration")
     Term.(const demo $ seed)
 
+(* --- cluster ----------------------------------------------------------- *)
+
+(* Narrated server-set walkthrough: the multi-server analogue of
+   [demo]. Shows the shard map, a reshard being corrected by a signed
+   redirect, and the replica lease cycle — the operator-visible faces
+   of docs/TOPOLOGY.md. *)
+let cluster servers seed =
+  if servers < 2 then (say "cluster: need at least 2 servers"; 1)
+  else begin
+    let c, ccs = Discfs.Deploy.make_cluster ~servers ~clients:1 ~seed () in
+    let cc = List.hd ccs in
+    say "== DisCFS server set (%d frontends, deterministic seed %S) ==@." servers seed;
+    say "1. Cluster deployed: one volume, %d frontends on their own access" servers;
+    say "   links, all trusting administrator key %s..."
+      (String.sub (Discfs.Cluster.admin_principal c) 0 30);
+    say "@.2. The shard map (version %d):"
+      (Discfs.Shard_map.version (Discfs.Cluster.map c));
+    say "%s" (Discfs.Shard_map.to_string (Discfs.Cluster.map c));
+
+    let root = Discfs.Cluster_client.root cc in
+    let cred =
+      Discfs.Cluster.admin_issue c
+        ~licensees:(Printf.sprintf "\"%s\"" (Discfs.Cluster_client.principal cc))
+        ~conditions:
+          (Printf.sprintf "(app_domain == \"DisCFS\") && (HANDLE == \"%d\") -> \"RWX\";"
+             root.Nfs.Proto.ino)
+        ~comment:"root for the demo user" ()
+    in
+    (match Discfs.Cluster_client.submit_credential cc cred with
+    | Ok _ -> ()
+    | Error e -> failwith e);
+    let fh, _, _ = Discfs.Cluster_client.create cc ~dir:root "demo.txt" () in
+    Discfs.Cluster_client.write_all cc fh "authority travels with the credential\n";
+    let m = Discfs.Cluster.map c in
+    let shard = Discfs.Shard_map.shard_of m ~ino:fh.Nfs.Proto.ino in
+    let owner = Discfs.Shard_map.owner m ~ino:fh.Nfs.Proto.ino in
+    say "@.3. demo.txt landed in shard %d, owned by server%d; the client wrote" shard owner;
+    say "   it there directly (its cached map is fresh).";
+
+    let new_owner = (owner + 1) mod servers in
+    Discfs.Cluster.reshard c ~shard ~owner:new_owner;
+    say "@.4. Operator moves shard %d to server%d (map version %d). The client's" shard
+      new_owner
+      (Discfs.Shard_map.version (Discfs.Cluster.map c));
+    say "   cached map is now stale; its next read is answered by a SIGNED";
+    say "   redirect, verified against the old owner's IKE-authenticated key:";
+    let data = Discfs.Cluster_client.read_all cc fh in
+    let get k = Simnet.Stats.get (Discfs.Cluster.stats c) k in
+    say "   read -> %S" data;
+    say "   redirects: sent %d, followed %d, bad signatures %d; client map v%d"
+      (get "redirect.sent") (get "redirect.followed") (get "redirect.bad_sig")
+      (Discfs.Cluster_client.map_version cc);
+
+    (match Discfs.Cluster.add_replica c ~shard ~server:owner with
+    | Ok () ->
+      say "@.5. server%d re-joins as a read-only replica of shard %d under a" owner shard;
+      say "   lease from the owner (grants so far: %d). A write through the"
+        (get "topo.lease.grants");
+      say "   owner INVALIDATEs it before the write is acknowledged:";
+      Discfs.Cluster_client.write_all cc fh "writes invalidate replica leases first\n";
+      say "   lease invalidations: %d" (get "topo.lease.invalidations")
+    | Error e -> say "   (replica setup failed: %s)" e);
+
+    say "@.-- statistics (virtual time %.3f s) --"
+      (Simnet.Clock.now (Discfs.Cluster.clock c));
+    List.iter
+      (fun (k, v) -> say "   %-24s %d" k v)
+      (Simnet.Stats.to_list (Discfs.Cluster.stats c));
+    0
+  end
+
+let cluster_cmd =
+  let servers = Arg.(value & opt int 3 & info [ "servers" ] ~docv:"N") in
+  let seed = Arg.(value & opt string "discfs-cluster-demo" & info [ "seed" ] ~docv:"SEED") in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run a narrated multi-server walkthrough (shard map, redirects, leases)")
+    Term.(const cluster $ servers $ seed)
+
 (* --- snapshot / fsck --------------------------------------------------- *)
 
 let snapshot seed out =
@@ -242,6 +321,6 @@ let credentials_cmd =
 
 let main_cmd =
   Cmd.group (Cmd.info "discfs_ctl" ~version:"1.0" ~doc:"DisCFS operator tool")
-    [ issue_cmd; demo_cmd; snapshot_cmd; fsck_cmd; credentials_cmd ]
+    [ issue_cmd; demo_cmd; cluster_cmd; snapshot_cmd; fsck_cmd; credentials_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -7,7 +7,10 @@
    - cmt:         lint specific .cmt files under a forced role — used
                   by the fixture tests and the golden report.
    - credentials: statically analyze a KeyNote credential store
-                  (Pass B) before deployment. *)
+                  (Pass B) before deployment.
+   - docs:        cross-reference the markdown documentation (Pass C)
+                  alone; `check` includes this pass unless told not
+                  to. *)
 
 open Cmdliner
 
@@ -27,7 +30,7 @@ let default_excludes = [ "test/lint_fixtures" ]
 let is_under prefix path =
   String.length path >= String.length prefix && String.sub path 0 (String.length prefix) = prefix
 
-let check root dirs excludes exit_zero quiet =
+let check root dirs excludes exit_zero quiet no_docs =
   let dirs = if dirs = [] then default_scan_dirs else dirs in
   let excludes = excludes @ default_excludes in
   let errors = ref [] in
@@ -53,11 +56,17 @@ let check root dirs excludes exit_zero quiet =
   findings := Lint.Rules.check_mli_coverage ~source_root:root "lib" @ !findings;
   let findings = List.sort_uniq Lint.Rules.compare_finding !findings in
   print_findings findings;
+  let doc_findings =
+    if no_docs then []
+    else Lint.Doccheck.check ~root (Lint.Doccheck.default_files ~root)
+  in
+  List.iter (fun f -> print_endline (Lint.Doccheck.render_finding f)) doc_findings;
   List.iter (fun m -> prerr_endline ("discfs_lint: warning: " ^ m)) (List.rev !errors);
+  let total = List.length findings + List.length doc_findings in
   if not quiet then
-    Printf.eprintf "discfs_lint: %d finding(s) in %d module(s)\n%!" (List.length findings)
-      !n_modules;
-  finish ~exit_zero (List.length findings)
+    Printf.eprintf "discfs_lint: %d finding(s) in %d module(s), %d doc finding(s)\n%!"
+      (List.length findings) !n_modules (List.length doc_findings);
+  finish ~exit_zero total
 
 let root_arg =
   Arg.(
@@ -81,9 +90,13 @@ let check_cmd =
           ~doc:"Drop findings whose source path starts with $(docv). May be repeated.")
   in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No summary line on stderr.") in
+  let no_docs =
+    Arg.(value & flag & info [ "no-docs" ] ~doc:"Skip the markdown cross-reference pass.")
+  in
   Cmd.v
-    (Cmd.info "check" ~doc:"Lint the whole repo's typed ASTs (what dune build @lint runs)")
-    Term.(const check $ root_arg $ dirs $ excludes $ exit_zero_arg $ quiet)
+    (Cmd.info "check"
+       ~doc:"Lint the whole repo's typed ASTs and docs (what dune build @lint runs)")
+    Term.(const check $ root_arg $ dirs $ excludes $ exit_zero_arg $ quiet $ no_docs)
 
 (* --- cmt --------------------------------------------------------------- *)
 
@@ -131,6 +144,26 @@ let cmt_cmd =
   Cmd.v
     (Cmd.info "cmt" ~doc:"Lint specific .cmt files (fixture tests, golden report)")
     Term.(const cmt $ root_arg $ role $ exit_zero_arg $ files)
+
+(* --- docs -------------------------------------------------------------- *)
+
+let docs root exit_zero files =
+  let files = if files = [] then Lint.Doccheck.default_files ~root else files in
+  let findings = Lint.Doccheck.check ~root files in
+  List.iter (fun f -> print_endline (Lint.Doccheck.render_finding f)) findings;
+  finish ~exit_zero (List.length findings)
+
+let docs_cmd =
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Repo-relative markdown files (default: root *.md plus docs/).")
+  in
+  Cmd.v
+    (Cmd.info "docs"
+       ~doc:"Cross-reference the markdown docs (dead links, bad anchors, stale code refs)")
+    Term.(const docs $ root_arg $ exit_zero_arg $ files)
 
 (* --- credentials ------------------------------------------------------- *)
 
@@ -194,6 +227,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "discfs_lint" ~version:"1.0"
        ~doc:"Static analysis for the DisCFS tree and its credential stores")
-    [ check_cmd; cmt_cmd; credentials_cmd ]
+    [ check_cmd; cmt_cmd; docs_cmd; credentials_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -197,8 +197,85 @@ let discfs ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) ?(cache_siz
     }
   end
 
+(* --- DisCFS cluster --------------------------------------------------- *)
+
+let clusters : (Clock.t * (Discfs.Cluster.t * Discfs.Cluster_client.t)) list ref = ref []
+
+(* The sharded server set behind the same uniform surface: ops route
+   by handle through the cluster client (owner for mutations, owner
+   or leased replica for reads, home frontend for metadata), so a
+   workload written against [t] exercises redirects and the shard map
+   without knowing they exist. [create]/[mkdir] ride the DisCFS
+   procedures and fan the issued credential out to every connection,
+   as any cluster client must. *)
+let discfs_cluster ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192)
+    ?(cache_size = 128) ?(servers = 3) ?nshards ?tracing () =
+  let cluster, ccs =
+    Discfs.Deploy.make_cluster ~nblocks ~block_size ~ninodes ~cache_size ?nshards ?tracing
+      ~servers ~clients:1 ()
+  in
+  let cc = List.hd ccs in
+  let cred =
+    Discfs.Cluster.admin_issue cluster
+      ~licensees:(Printf.sprintf "\"%s\"" (Discfs.Cluster_client.principal cc))
+      ~conditions:"app_domain == \"DisCFS\" -> \"RWX\";" ~comment:"benchmark user" ()
+  in
+  (match Discfs.Cluster_client.submit_credential cc cred with
+  | Ok _ -> ()
+  | Error e -> failwith ("credential submission failed: " ^ e));
+  let clock = Discfs.Cluster.clock cluster in
+  let fs = Discfs.Cluster.fs cluster in
+  clusters := (clock, (cluster, cc)) :: !clusters;
+  let syscall () = Clock.advance clock Cost.default.Cost.syscall in
+  let to_fh = function
+    | Fh fh -> fh
+    | Ino ino -> { Proto.ino; gen = Ffs.Fs.generation fs ino }
+  in
+  {
+    label = Printf.sprintf "DisCFS-%dsrv" servers;
+    clock;
+    stats = Discfs.Cluster.stats cluster;
+    cost = Cost.default;
+    fs;
+    root = Fh (Discfs.Cluster_client.root cc);
+    mkdir =
+      (fun dir name ->
+        syscall ();
+        let fh, _, _ = Discfs.Cluster_client.mkdir cc ~dir:(to_fh dir) name () in
+        Fh fh);
+    create =
+      (fun dir name ->
+        syscall ();
+        let fh, _, _ = Discfs.Cluster_client.create cc ~dir:(to_fh dir) name () in
+        Fh fh);
+    write =
+      (fun h ~off data ->
+        syscall ();
+        ignore (Discfs.Cluster_client.write cc (to_fh h) ~off data));
+    read =
+      (fun h ~off ~len ->
+        syscall ();
+        snd (Discfs.Cluster_client.read cc (to_fh h) ~off ~count:len));
+    readdir =
+      (fun h ->
+        syscall ();
+        strip_dots (List.map fst (Discfs.Cluster_client.readdir cc (to_fh h))));
+    lookup =
+      (fun dir name ->
+        syscall ();
+        let fh, _ = Discfs.Cluster_client.lookup cc (to_fh dir) name in
+        Fh fh);
+    remove =
+      (fun dir name ->
+        syscall ();
+        Discfs.Cluster_client.remove cc (to_fh dir) name);
+  }
+
 let discfs_deploy t =
   List.find_opt (fun (clock, _) -> clock == t.clock) !deployments |> Option.map snd
+
+let discfs_cluster_parts t =
+  List.find_opt (fun (clock, _) -> clock == t.clock) !clusters |> Option.map snd
 
 let discfs_attr_cache t =
   List.find_opt (fun (clock, _) -> clock == t.clock) !attr_caches |> Option.map snd

@@ -65,6 +65,23 @@ val discfs :
     retransmission profile; [tracing] turns on the per-layer
     span/metrics instrumentation (see {!Discfs.Deploy.make}). *)
 
+val discfs_cluster :
+  ?nblocks:int ->
+  ?block_size:int ->
+  ?ninodes:int ->
+  ?cache_size:int ->
+  ?servers:int ->
+  ?nshards:int ->
+  ?tracing:bool ->
+  unit ->
+  t
+(** DisCFS over a sharded [servers]-frontend cluster (default 3; see
+    {!Discfs.Cluster}): the same uniform surface, but every op is
+    routed by handle — mutations to the shard owner, reads to the
+    owner or a leased replica, metadata to the home frontend — with
+    signed redirects correcting a stale shard map in flight. Lets any
+    Bonnie/search workload run unchanged against the server set. *)
+
 val discfs_deploy : t -> Discfs.Deploy.t option
 (** The underlying testbed when the backend is DisCFS (for cache
     statistics in the ablation benches). *)
@@ -72,3 +89,8 @@ val discfs_deploy : t -> Discfs.Deploy.t option
 val discfs_attr_cache : t -> Nfs.Cache.t option
 (** The client-side NFS cache when the backend is DisCFS with
     [attr_cache:true]. *)
+
+val discfs_cluster_parts : t -> (Discfs.Cluster.t * Discfs.Cluster_client.t) option
+(** The cluster and its client when the backend came from
+    {!discfs_cluster} (for shard-map surgery and stats in tests and
+    the ctl tool). *)

@@ -119,6 +119,8 @@ let principal t = t.principal
 let server_principal t = t.server_principal
 let client_id t = Rpc.client_id t.rpc
 
+let call t ~prog ~vers ~proc args = Rpc.call t.rpc ~prog ~vers ~proc args
+
 let discfs_call t ~proc body =
   let e = Xdr.Enc.create () in
   body e;

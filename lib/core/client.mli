@@ -59,6 +59,12 @@ val principal : t -> string
 
 val server_principal : t -> string
 
+val call : t -> prog:int -> vers:int -> proc:int -> string -> string
+(** A raw RPC on this client's authenticated connection. The cluster
+    client uses it for the cluster control program (GETMAP,
+    PROTOCOL.md §11.1) without growing this module a stub per
+    procedure. *)
+
 val submit_credential : t -> Keynote.Assertion.t -> (string, string) result
 (** Submit over RPC; [Ok fingerprint] on success. *)
 

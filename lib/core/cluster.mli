@@ -1,0 +1,132 @@
+(** A DisCFS server set: N serving frontends on an N-host
+    {!Simnet.Topo} star, over one shared storage volume, with the
+    namespace sharded across the frontends by the versioned
+    {!Shard_map} and hot shards replicated read-only under owner
+    leases. See [docs/TOPOLOGY.md] for the full walkthroughs.
+
+    Trust: all frontends answer to one administrator key, and every
+    frontend's local policy licenses every other frontend's key for
+    the DisCFS app domain — so a credential issued by any frontend
+    authorizes at all of them. Authorization stays end-to-end in the
+    client's KeyNote chain; redirects only re-home the {e request},
+    never the {e authority}.
+
+    Routing: data READs are pinned to a shard's owner or a
+    live-leased replica, every mutation to the owner alone (namespace
+    ops route by the directory handle), and metadata reads are served
+    by any frontend. A frontend that does not serve a handle answers
+    with a signed [NFSERR_MOVED] redirect (PROTOCOL.md §11.2). *)
+
+(** {1 The cluster control program (PROTOCOL.md §11)} *)
+
+val cluster_prog : int
+(** 391064; version {!cluster_vers}. *)
+
+val cluster_vers : int
+
+val clusterproc_getmap : int
+(** Fetch the shard map if the caller's cached version is stale. *)
+
+val clusterproc_lease : int
+(** Replica → owner: grant or renew a read lease on a shard. *)
+
+val clusterproc_invalidate : int
+(** Owner → replica: revoke the lease on a just-mutated shard. *)
+
+type node
+type t
+
+val make :
+  ?cost:Simnet.Cost.t ->
+  ?nblocks:int ->
+  ?block_size:int ->
+  ?ninodes:int ->
+  ?cache_size:int ->
+  ?cache_blocks:int ->
+  ?readahead:int ->
+  ?hour:(unit -> int) ->
+  ?strict_handles:bool ->
+  ?seed:string ->
+  ?tracing:bool ->
+  ?workers:int ->
+  ?queue_depth:int ->
+  ?switch_latency:float ->
+  ?nshards:int ->
+  ?lease_duration:float ->
+  servers:int ->
+  unit ->
+  t
+(** Build [servers] frontends, each with its own host (access link),
+    RPC endpoint, worker pool (when [workers] is given — one shared
+    {!Simnet.Sched} owns the clock, as in [Deploy.make]) and DisCFS
+    server over the one shared volume. [nshards] (default 32) sizes
+    the shard space; [lease_duration] (default one virtual hour) is
+    the replica lease term. Deterministic for a fixed [seed]: host
+    keys are drawn from the DRBG in index order. *)
+
+val clock : t -> Simnet.Clock.t
+val stats : t -> Simnet.Stats.t
+val sched : t -> Simnet.Sched.t option
+val metrics : t -> Trace.Metrics.t
+val trace : t -> Trace.t
+val topo : t -> Simnet.Topo.t
+val fs : t -> Ffs.Fs.t
+val nservers : t -> int
+val lease_duration : t -> float
+
+val map : t -> Shard_map.t
+(** The authoritative map. Clients must not alias this — they cache
+    a copy via GETMAP and learn of staleness from redirects. *)
+
+val node : t -> int -> node
+val node_link : t -> int -> Simnet.Link.t
+val node_rpc : t -> int -> Oncrpc.Rpc.server
+val node_server : t -> int -> Server.t
+val node_restarts : t -> int -> int
+val server_principal : t -> int -> string
+
+val admin_principal : t -> string
+
+val admin_identity : t -> Dcrypto.Dsa.private_key
+(** The administrator's key pair — what the benches attach a
+    bootstrap client with, as [Deploy.make] exposes via its [admin]
+    field. *)
+
+val new_identity : t -> Dcrypto.Dsa.private_key
+
+val fork_drbg : t -> label:string -> Dcrypto.Drbg.t
+(** A labelled child of the cluster DRBG — what [Cluster_client]
+    seeds each attach's IKE with. *)
+
+val cost : t -> Simnet.Cost.t
+
+val admin_issue :
+  t -> licensees:string -> conditions:string -> ?comment:string -> unit -> Keynote.Assertion.t
+
+val add_replica : t -> shard:int -> server:int -> (unit, string) result
+(** Grant [server] a read replica of [shard]: bumps the map version
+    and obtains the initial lease from the owner over the
+    server-to-server LEASE call. *)
+
+val remove_replica : t -> shard:int -> server:int -> unit
+
+val renew_lease : t -> shard:int -> server:int -> (unit, string) result
+(** Re-run the LEASE exchange for an expired or invalidated lease.
+    [Ok ()] immediately if [server] owns the shard. *)
+
+val reshard : t -> shard:int -> owner:int -> unit
+(** Move a shard to a new owner and bump the map version. Clients
+    holding the old map are corrected by signed redirects on their
+    next routed call. Counted under ["topo.reshards"]. *)
+
+val note_write : t -> ino:int -> unit
+(** Owner-side write notification: INVALIDATE every replica's lease
+    on the written handle's shard. Driven from the cluster client's
+    write path; charged to the owner's server-to-server wire. *)
+
+val crash_and_restart : t -> int -> unit
+(** Kill frontend [i] and boot a fresh incarnation: shared storage
+    survives, the node's credential/audit state rides through
+    [Server.save_state], its SAs, caches and held leases die, and
+    peers reconnect lazily. Clients attached to it time out and
+    recover via [Cluster_client]. Counted under ["server.restarts"]. *)

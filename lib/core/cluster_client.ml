@@ -1,0 +1,291 @@
+module Clock = Simnet.Clock
+module Stats = Simnet.Stats
+module Cost = Simnet.Cost
+module Topo = Simnet.Topo
+module Rpc = Oncrpc.Rpc
+module Dsa = Dcrypto.Dsa
+module Assertion = Keynote.Assertion
+module Proto = Nfs.Proto
+
+(* The cluster-aware client: one identity, one cached shard map, and
+   up to one authenticated connection per frontend (opened lazily —
+   IKE is the expensive part of attach, so a client only pays for the
+   frontends its working set actually touches).
+
+   Every routed call can be answered with a signed NFSERR_MOVED
+   redirect when the cached map is stale; the client verifies the
+   signature against the key it authenticated in IKE, refreshes its
+   map if the redirect names a newer version, and re-issues — with a
+   hop bound, so a pathological map can only bounce a call
+   [max_hops] times before surfacing an error instead of looping. *)
+
+type t = {
+  cluster : Cluster.t;
+  identity : Dsa.private_key;
+  uid : int;
+  home : int;
+  path : string;
+  retry : Rpc.retry option;
+  conns : Client.t option array;
+  mutable map : Shard_map.t;
+  mutable creds : string list; (* newest first; replayed oldest-first on lazy attach *)
+  mutable attaches : int; (* labels the DRBG fork of each attach *)
+}
+
+let max_hops = 4
+
+let stats t = Cluster.stats t.cluster
+let home t = t.home
+let principal t = Assertion.principal_of_pub t.identity.Dsa.pub
+let map_version t = Shard_map.version t.map
+
+(* --- connections ----------------------------------------------------- *)
+
+let attach_node t i =
+  t.attaches <- t.attaches + 1;
+  let c =
+    Client.attach
+      ~link:(Cluster.node_link t.cluster i)
+      ~rpc:(Cluster.node_rpc t.cluster i)
+      ~server:(Cluster.node_server t.cluster i)
+      ~identity:t.identity
+      ~drbg:
+        (Cluster.fork_drbg t.cluster
+           ~label:(Printf.sprintf "attach-%s-%d" (principal t) t.attaches))
+      ~uid:t.uid ~path:t.path ?retry:t.retry ()
+  in
+  Stats.incr (stats t) "client.attaches";
+  (* The frontends share trust but not sessions: every credential
+     this client relies on must be present wherever its calls can
+     land. *)
+  List.iter (fun text -> ignore (Client.submit_credential_text c text)) (List.rev t.creds);
+  c
+
+let conn t i =
+  if i < 0 || i >= Array.length t.conns then
+    raise (Client.Discfs_error "cluster client: server index out of range");
+  match t.conns.(i) with
+  | Some c -> c
+  | None ->
+    let c = attach_node t i in
+    if not (Int.equal i t.home) then Stats.incr (stats t) "topo.lazy_attaches";
+    t.conns.(i) <- Some c;
+    c
+
+(* --- the shard map --------------------------------------------------- *)
+
+let refresh_map_via t c =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint32 e (Shard_map.version t.map);
+  let reply =
+    Client.call c ~prog:Cluster.cluster_prog ~vers:Cluster.cluster_vers
+      ~proc:Cluster.clusterproc_getmap (Xdr.Enc.to_string e)
+  in
+  let d = Xdr.Dec.of_string reply in
+  if Xdr.Dec.uint32 d = 0 && Xdr.Dec.bool d then begin
+    t.map <- Shard_map.decode d;
+    Stats.incr (stats t) "topo.map_refreshes"
+  end
+
+let refresh_map t = refresh_map_via t (conn t t.home)
+
+(* --- routing --------------------------------------------------------- *)
+
+type rclass = Any | Rd | Wr
+
+(* Reads spread over the owner and its replicas; the pick is a pure
+   function of (handle, home), so the same client always asks the
+   same frontend for the same file — cache-friendly on the server,
+   reproducible in the benchmarks. *)
+let target_for t ~ino cls =
+  match cls with
+  | Any -> t.home
+  | Wr -> Shard_map.owner t.map ~ino
+  | Rd -> (
+    let s = Shard_map.shard t.map (Shard_map.shard_of t.map ~ino) in
+    match s.Shard_map.replicas with
+    | [] -> s.Shard_map.owner
+    | reps ->
+      let cands = s.Shard_map.owner :: reps in
+      List.nth cands ((Shard_map.mix ino + t.home) mod List.length cands))
+
+(* Verify a redirect against the key of the server that sent it —
+   the one this connection authenticated in IKE — before believing
+   it. A redirect that fails verification is an attack or a bug;
+   either way the client refuses to follow. *)
+let verify_redirect t c (r : Proto.redirect) ~ino ~gen =
+  let cost = Cluster.cost t.cluster in
+  Clock.advance (Cluster.clock t.cluster) cost.Cost.credential_verify;
+  match Assertion.pub_of_principal (Client.server_principal c) with
+  | None -> false
+  | Some pub -> (
+    let preimage =
+      Proto.redirect_preimage ~ino ~gen ~target:r.Proto.r_target ~version:r.Proto.r_version
+        ~principal:r.Proto.r_principal
+    in
+    match Dsa.sig_decode r.Proto.r_sig with
+    | exception _ -> false
+    | s -> Dsa.verify ~key:pub preimage s)
+
+let rec issue : 'a. t -> ino:int -> gen:int -> cls:rclass -> hops:int -> int
+    -> (Client.t -> 'a) -> 'a =
+ fun t ~ino ~gen ~cls ~hops target f ->
+  let c = conn t target in
+  match f c with
+  | v -> v
+  | exception Proto.Nfs_moved r ->
+    Stats.incr (stats t) "redirect.received";
+    if not (verify_redirect t c r ~ino ~gen) then begin
+      Stats.incr (stats t) "redirect.bad_sig";
+      raise (Client.Discfs_error "redirect signature verification failed")
+    end;
+    if r.Proto.r_target < 0 || r.Proto.r_target >= Cluster.nservers t.cluster then
+      raise (Client.Discfs_error "redirect target out of range");
+    if hops + 1 >= max_hops then begin
+      Stats.incr (stats t) "redirect.loops";
+      raise (Client.Discfs_error "redirect loop: hop bound exceeded")
+    end;
+    if r.Proto.r_version > Shard_map.version t.map then refresh_map t;
+    let c' = conn t r.Proto.r_target in
+    if not (String.equal (Client.server_principal c') r.Proto.r_principal) then
+      raise (Client.Discfs_error "redirect principal mismatch");
+    Stats.incr (stats t) "redirect.followed";
+    issue t ~ino ~gen ~cls ~hops:(hops + 1) r.Proto.r_target f
+  | exception Rpc.Rpc_timeout _ when hops + 1 < max_hops ->
+    (* The frontend died under us. Recover against its current
+       incarnation, pull a fresh map (the membership change may have
+       moved shards), and re-route. *)
+    Stats.incr (stats t) "topo.reattaches";
+    Client.reattach c
+      ~rpc:(Cluster.node_rpc t.cluster target)
+      ~server:(Cluster.node_server t.cluster target)
+      ();
+    refresh_map_via t c;
+    issue t ~ino ~gen ~cls ~hops:(hops + 1) (target_for t ~ino cls) f
+
+let routed t ~(fh : Proto.fh) ~cls f =
+  issue t ~ino:fh.Proto.ino ~gen:fh.Proto.gen ~cls ~hops:0
+    (target_for t ~ino:fh.Proto.ino cls)
+    f
+
+(* --- construction ---------------------------------------------------- *)
+
+let attach cluster ~identity ?(uid = 1000) ?(home = 0) ?(path = "/") ?retry () =
+  if home < 0 || home >= Cluster.nservers cluster then
+    invalid_arg "Cluster_client.attach: home out of range";
+  let t =
+    {
+      cluster;
+      identity;
+      uid;
+      home;
+      path;
+      retry;
+      conns = Array.make (Cluster.nservers cluster) None;
+      map = Shard_map.placeholder ~nservers:(Cluster.nservers cluster);
+      creds = [];
+      attaches = 0;
+    }
+  in
+  ignore (conn t home);
+  refresh_map t;
+  t
+
+let root t = Client.root (conn t t.home)
+
+let detach t =
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some c ->
+        Client.detach c;
+        Stats.incr (stats t) "client.detaches";
+        t.conns.(i) <- None)
+    t.conns
+
+(* --- credentials ----------------------------------------------------- *)
+
+(* Submitted credentials fan out to every open connection and are
+   recorded for replay on lazy attaches, so authorization never
+   depends on which frontend a redirect lands the client on. *)
+let submit_credential_text t text =
+  t.creds <- text :: t.creds;
+  let result = ref (Error "no connection") in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some c ->
+        let r = Client.submit_credential_text c text in
+        if Int.equal i t.home then result := r)
+    t.conns;
+  !result
+
+let submit_credential t cred = submit_credential_text t (Assertion.to_text cred)
+
+let record_issued t cred =
+  let text = Assertion.to_text cred in
+  t.creds <- text :: t.creds;
+  Array.iter
+    (fun c -> match c with None -> () | Some c -> ignore (Client.submit_credential_text c text))
+    t.conns
+
+(* --- operations ------------------------------------------------------ *)
+
+let with_nfs f c = f (Client.nfs c)
+
+let getattr t fh = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.getattr n fh))
+let lookup t fh name = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.lookup n fh name))
+let readdir t fh = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.readdir n fh))
+let readlink t fh = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.readlink n fh))
+let statfs t fh = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.statfs n fh))
+let access t fh wanted = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.access n fh wanted))
+
+let read t fh ~off ~count =
+  routed t ~fh ~cls:Rd (with_nfs (fun n -> Nfs.Client.read n fh ~off ~count))
+
+let read_all t fh = routed t ~fh ~cls:Rd (with_nfs (fun n -> Nfs.Client.read_all n fh))
+
+let write t fh ~off data =
+  let attr = routed t ~fh ~cls:Wr (with_nfs (fun n -> Nfs.Client.write n fh ~off data)) in
+  Cluster.note_write t.cluster ~ino:fh.Proto.ino;
+  attr
+
+let write_all t fh data =
+  routed t ~fh ~cls:Wr (with_nfs (fun n -> Nfs.Client.write_all n fh data));
+  Cluster.note_write t.cluster ~ino:fh.Proto.ino
+
+let setattr t fh sattr =
+  let attr = routed t ~fh ~cls:Wr (with_nfs (fun n -> Nfs.Client.setattr n fh sattr)) in
+  Cluster.note_write t.cluster ~ino:fh.Proto.ino;
+  attr
+
+let remove t fh name = routed t ~fh ~cls:Wr (with_nfs (fun n -> Nfs.Client.remove n fh name))
+let rmdir t fh name = routed t ~fh ~cls:Wr (with_nfs (fun n -> Nfs.Client.rmdir n fh name))
+
+let rename t ~src:(src_fh, src_name) ~dst =
+  routed t ~fh:src_fh ~cls:Wr (with_nfs (fun n -> Nfs.Client.rename n ~src:(src_fh, src_name) ~dst))
+
+let symlink t fh name ~target =
+  routed t ~fh ~cls:Wr (with_nfs (fun n -> Nfs.Client.symlink n fh name ~target))
+
+(* DisCFS create/mkdir route like any other namespace mutation — by
+   the directory's shard — and the returned credential is fanned out
+   so the new file is readable wherever its own shard lives. *)
+let create t ~dir name ?perms () =
+  let fh, attr, cred = routed t ~fh:dir ~cls:Wr (fun c -> Client.create c ~dir name ?perms ()) in
+  record_issued t cred;
+  (fh, attr, cred)
+
+let mkdir t ~dir name ?perms () =
+  let fh, attr, cred = routed t ~fh:dir ~cls:Wr (fun c -> Client.mkdir c ~dir name ?perms ()) in
+  record_issued t cred;
+  (fh, attr, cred)
+
+let resolve t path =
+  let parts = List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' path) in
+  List.fold_left
+    (fun (fh, _attr) name -> lookup t fh name)
+    (root t, getattr t (root t))
+    parts

@@ -1,0 +1,93 @@
+(** The cluster-aware DisCFS client: one identity, a cached
+    {!Shard_map}, and up to one authenticated connection per frontend
+    — opened lazily, since IKE dominates attach cost and a client
+    only needs the frontends its working set touches.
+
+    Routing: reads go to the handle's owner or a replica (a pure
+    function of handle and home, so the pick is reproducible), every
+    mutation to the owner, metadata ops to the home frontend. A
+    signed [NFSERR_MOVED] redirect (stale cached map) is verified
+    against the key the connection authenticated in IKE, refreshes
+    the cached map when it names a newer version, and re-issues the
+    call — at most {!max_hops} times, so a corrupt map bounds at an
+    error instead of a loop. A frontend crash surfaces as an RPC
+    timeout; the client reattaches to the current incarnation,
+    refreshes its map, and re-routes.
+
+    Credentials submitted here fan out to every open connection and
+    replay onto lazy attaches: authorization never depends on which
+    frontend a redirect lands on. *)
+
+type t
+
+val max_hops : int
+(** Redirect hop bound per logical operation (4). *)
+
+val attach :
+  Cluster.t ->
+  identity:Dcrypto.Dsa.private_key ->
+  ?uid:int ->
+  ?home:int ->
+  ?path:string ->
+  ?retry:Oncrpc.Rpc.retry ->
+  unit ->
+  t
+(** IKE + mount against the [home] frontend (default 0), then an
+    initial GETMAP. Counted under ["client.attaches"]; later
+    on-demand connections also count ["topo.lazy_attaches"]. *)
+
+val detach : t -> unit
+(** Drop every open connection. *)
+
+val home : t -> int
+val principal : t -> string
+
+val map_version : t -> int
+(** The cached map's version — lags the cluster's after a reshard
+    until a redirect or GETMAP catches it up. *)
+
+val refresh_map : t -> unit
+(** Explicit GETMAP through the home frontend. *)
+
+val root : t -> Nfs.Proto.fh
+
+(** {1 Credentials} *)
+
+val submit_credential : t -> Keynote.Assertion.t -> (string, string) result
+val submit_credential_text : t -> string -> (string, string) result
+
+(** {1 Operations}
+
+    The NFS surface of {!Nfs.Client}, routed. All raise
+    {!Nfs.Proto.Nfs_error} on failure status and
+    {!Client.Discfs_error} on redirect-verification failure or an
+    exceeded hop bound. *)
+
+val getattr : t -> Nfs.Proto.fh -> Nfs.Proto.fattr
+val setattr : t -> Nfs.Proto.fh -> Nfs.Proto.sattr -> Nfs.Proto.fattr
+val lookup : t -> Nfs.Proto.fh -> string -> Nfs.Proto.fh * Nfs.Proto.fattr
+val readlink : t -> Nfs.Proto.fh -> string
+val read : t -> Nfs.Proto.fh -> off:int -> count:int -> Nfs.Proto.fattr * string
+val read_all : t -> Nfs.Proto.fh -> string
+val write : t -> Nfs.Proto.fh -> off:int -> string -> Nfs.Proto.fattr
+val write_all : t -> Nfs.Proto.fh -> string -> unit
+val readdir : t -> Nfs.Proto.fh -> (string * int) list
+val statfs : t -> Nfs.Proto.fh -> Nfs.Proto.statfs_res
+val access : t -> Nfs.Proto.fh -> int -> int
+val remove : t -> Nfs.Proto.fh -> string -> unit
+val rmdir : t -> Nfs.Proto.fh -> string -> unit
+val rename : t -> src:Nfs.Proto.fh * string -> dst:Nfs.Proto.fh * string -> unit
+val symlink : t -> Nfs.Proto.fh -> string -> target:string -> unit
+
+val create :
+  t -> dir:Nfs.Proto.fh -> string -> ?perms:int -> unit ->
+  Nfs.Proto.fh * Nfs.Proto.fattr * Keynote.Assertion.t
+(** DisCFS create on the directory's owner; the returned credential
+    is fanned out to every open connection. *)
+
+val mkdir :
+  t -> dir:Nfs.Proto.fh -> string -> ?perms:int -> unit ->
+  Nfs.Proto.fh * Nfs.Proto.fattr * Keynote.Assertion.t
+
+val resolve : t -> string -> Nfs.Proto.fh * Nfs.Proto.fattr
+(** Walk a slash-separated path from the root with LOOKUPs. *)

@@ -160,3 +160,26 @@ let admin_principal t = Assertion.principal_of_pub t.admin.Dsa.pub
 
 let admin_issue t ~licensees ~conditions ?comment () =
   Assertion.issue ~key:t.admin ~drbg:t.drbg ?comment ~licensees ~conditions ()
+
+(* Server-set + client-set construction: the N-frontend testbed.
+   {!make} stays the one-pair fast path; this builds a {!Cluster}
+   (its own topology, shard map and lease machinery) and attaches
+   [clients] cluster-aware clients homed round-robin across the
+   frontends. Identities are drawn from the cluster DRBG in client
+   order, so the whole fleet is a pure function of [seed]. *)
+let make_cluster ?cost ?nblocks ?block_size ?ninodes ?cache_size ?cache_blocks ?readahead
+    ?hour ?strict_handles ?seed ?tracing ?workers ?queue_depth ?switch_latency ?nshards
+    ?lease_duration ?retry ~servers ~clients () =
+  let cluster =
+    Cluster.make ?cost ?nblocks ?block_size ?ninodes ?cache_size ?cache_blocks ?readahead
+      ?hour ?strict_handles ?seed ?tracing ?workers ?queue_depth ?switch_latency ?nshards
+      ?lease_duration ~servers ()
+  in
+  let identities = List.init clients (fun _ -> Cluster.new_identity cluster) in
+  let cclients =
+    List.mapi
+      (fun i identity ->
+        Cluster_client.attach cluster ~identity ~uid:(1000 + i) ~home:(i mod servers) ?retry ())
+      identities
+  in
+  (cluster, cclients)

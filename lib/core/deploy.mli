@@ -78,6 +78,35 @@ val make :
     {!crash_and_restart} (the new incarnation gets a fresh, empty
     queue on the same scheduler). *)
 
+val make_cluster :
+  ?cost:Simnet.Cost.t ->
+  ?nblocks:int ->
+  ?block_size:int ->
+  ?ninodes:int ->
+  ?cache_size:int ->
+  ?cache_blocks:int ->
+  ?readahead:int ->
+  ?hour:(unit -> int) ->
+  ?strict_handles:bool ->
+  ?seed:string ->
+  ?tracing:bool ->
+  ?workers:int ->
+  ?queue_depth:int ->
+  ?switch_latency:float ->
+  ?nshards:int ->
+  ?lease_duration:float ->
+  ?retry:Oncrpc.Rpc.retry ->
+  servers:int ->
+  clients:int ->
+  unit ->
+  Cluster.t * Cluster_client.t list
+(** Server-set + client-set construction: a {!Cluster.make} of
+    [servers] frontends (N-host topology, sharded namespace, lease
+    machinery) plus [clients] {!Cluster_client}s homed round-robin
+    across them, uids 1000.., identities drawn from the cluster DRBG
+    in client order. {!make} remains the single-pair fast path; see
+    [docs/TOPOLOGY.md] for the cluster layer map. *)
+
 val new_identity : t -> Dcrypto.Dsa.private_key
 (** Generate a fresh user key pair from the testbed's DRBG. *)
 

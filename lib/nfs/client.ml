@@ -11,7 +11,8 @@ let call t proc body =
 
 let status_check d =
   let status = Xdr.Dec.uint32 d in
-  if status <> Proto.nfs_ok then raise (Proto.Nfs_error status)
+  if status = Proto.nfserr_moved then raise (Proto.Nfs_moved (Proto.redirect_decode d))
+  else if status <> Proto.nfs_ok then raise (Proto.Nfs_error status)
 
 let mount t path =
   let e = Xdr.Enc.create () in

@@ -1,5 +1,8 @@
 (** Typed NFSv2 client stubs over an RPC connection. Calls raise
-    {!Proto.Nfs_error} on non-OK status. *)
+    {!Proto.Nfs_error} on non-OK status — except [NFSERR_MOVED],
+    which decodes its signed redirect body and raises
+    {!Proto.Nfs_moved} so a cluster-aware caller can verify it and
+    re-issue the call at the named server. *)
 
 type t
 

@@ -64,6 +64,11 @@ let nfserr_nametoolong = 63
 let nfserr_notempty = 66
 let nfserr_stale = 70
 
+(* Vendor extension (PROTOCOL.md §11.2): the addressed server does
+   not serve this handle under the current shard map. The reply body
+   carries a signed redirect naming the server that does. *)
+let nfserr_moved = 72
+
 let status_to_string = function
   | 0 -> "NFS_OK"
   | 1 -> "NFSERR_PERM"
@@ -78,9 +83,56 @@ let status_to_string = function
   | 63 -> "NFSERR_NAMETOOLONG"
   | 66 -> "NFSERR_NOTEMPTY"
   | 70 -> "NFSERR_STALE"
+  | 72 -> "NFSERR_MOVED"
   | n -> Printf.sprintf "NFSERR_%d" n
 
 exception Nfs_error of int
+
+(* --- redirects ------------------------------------------------------ *)
+
+(* The body of an NFSERR_MOVED reply. [r_target]/[r_principal] name
+   the server that serves the handle under map version [r_version];
+   [r_sig] is the redirecting server's DSA signature over the
+   preimage built by {!redirect_preimage}, so a compromised or
+   confused replica cannot silently re-home a client: the client
+   verifies against the key it authenticated in IKE. *)
+type redirect = { r_target : int; r_version : int; r_principal : string; r_sig : string }
+
+exception Nfs_moved of redirect
+
+let max_principal = 4096
+let max_sig = 1024
+
+let redirect_encode e r =
+  Xdr.Enc.uint32 e r.r_target;
+  Xdr.Enc.uint32 e r.r_version;
+  Xdr.Enc.string e r.r_principal;
+  Xdr.Enc.opaque e r.r_sig
+
+let redirect_decode d =
+  let r_target = Xdr.Dec.uint32 d in
+  let r_version = Xdr.Dec.uint32 d in
+  let r_principal = Xdr.Dec.string d in
+  if String.length r_principal > max_principal then
+    raise (Xdr.Decode_error "redirect: principal too long");
+  let r_sig = Xdr.Dec.opaque d in
+  if String.length r_sig > max_sig then raise (Xdr.Decode_error "redirect: signature too long");
+  { r_target; r_version; r_principal; r_sig }
+
+(* What the redirect signature covers: the handle being redirected,
+   where to, and under which map version — domain-separated so the
+   signature cannot be confused with any other DSA use of the server
+   key (credentials, IKE). *)
+let redirect_preimage ~ino ~gen ~target ~version ~principal =
+  String.concat "\n"
+    [
+      "DisCFS-redirect-v1";
+      string_of_int ino;
+      string_of_int gen;
+      string_of_int target;
+      string_of_int version;
+      principal;
+    ]
 
 (* --- file handles --------------------------------------------------- *)
 

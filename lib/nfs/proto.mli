@@ -69,11 +69,41 @@ val nfserr_nospc : int
 val nfserr_nametoolong : int
 val nfserr_notempty : int
 val nfserr_stale : int
+
+val nfserr_moved : int
+(** Vendor extension (PROTOCOL.md §11.2): the addressed server does
+    not serve this handle under the current shard map; the reply body
+    is a signed {!redirect}. *)
+
 val status_to_string : int -> string
 
 exception Nfs_error of int
 (** Raised by server procedure bodies; the dispatcher maps it to the
     reply's status field. *)
+
+(** {1 Redirects} *)
+
+type redirect = {
+  r_target : int;  (** index of the server that serves the handle *)
+  r_version : int;  (** shard-map version the redirect was issued under *)
+  r_principal : string;  (** the target server's principal *)
+  r_sig : string;  (** DSA signature over {!redirect_preimage} *)
+}
+
+exception Nfs_moved of redirect
+(** Raised by client-side decoding on an [NFSERR_MOVED] status; the
+    cluster client verifies the signature and re-issues the call. *)
+
+val redirect_encode : Xdr.Enc.t -> redirect -> unit
+
+val redirect_decode : Xdr.Dec.t -> redirect
+(** Raises [Xdr.Decode_error] on oversized principal or signature
+    fields (decode discipline, PROTOCOL.md §10). *)
+
+val redirect_preimage :
+  ino:int -> gen:int -> target:int -> version:int -> principal:string -> string
+(** The domain-separated byte string the redirect signature covers:
+    handle, target, map version and target principal. *)
 
 (** {1 File handles} *)
 

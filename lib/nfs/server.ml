@@ -47,11 +47,21 @@ let no_hooks =
     rights = (fun ~conn:_ ~fh:_ -> 7);
   }
 
-type t = { fs : Ffs.Fs.t; mutable hooks : hooks }
+(* A router sits in front of the hooks: in a cluster, a server that
+   does not serve a handle under the current shard map answers with a
+   fully-encoded NFSERR_MOVED reply instead of executing the
+   operation. Kept outside [hooks] so single-server deployments and
+   their hook wiring are untouched. *)
+type route = conn:Rpc.conn_info -> fh:Proto.fh -> op:op -> string option
 
-let create ~fs ?(hooks = no_hooks) () = { fs; hooks }
+let no_route : route = fun ~conn:_ ~fh:_ ~op:_ -> None
+
+type t = { fs : Ffs.Fs.t; mutable hooks : hooks; mutable route : route }
+
+let create ~fs ?(hooks = no_hooks) () = { fs; hooks; route = no_route }
 let fs t = t.fs
 let set_hooks t hooks = t.hooks <- hooks
+let set_route t route = t.route <- route
 
 let nfs_status_of_fs_error (e : Ffs.Fs.error) =
   match e with
@@ -114,6 +124,9 @@ let reply_status ?body status =
 
 let run t ~conn ~fh ~op f =
   Trace.span (Ffs.Fs.trace t.fs) ("nfs." ^ op_to_string op) @@ fun () ->
+  match t.route ~conn ~fh ~op with
+  | Some reply -> Ok reply
+  | None -> (
   match
     check_fh t fh;
     t.hooks.authorize ~conn ~fh ~op
@@ -125,7 +138,7 @@ let run t ~conn ~fh ~op f =
     | result -> result
     | exception Proto.Nfs_error status -> reply_status status
     | exception Ffs.Fs.Error (e, _) -> reply_status (nfs_status_of_fs_error e)
-    | exception Ffs.Blockdev.Io_error _ -> reply_status Proto.nfserr_io)
+    | exception Ffs.Blockdev.Io_error _ -> reply_status Proto.nfserr_io))
 
 let attr_body t conn attr e = Proto.fattr_encode e (t.hooks.present_attr ~conn attr)
 

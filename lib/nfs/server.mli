@@ -39,11 +39,24 @@ type hooks = {
 val no_hooks : hooks
 (** Allow everything, present attributes untouched. *)
 
+type route = conn:Oncrpc.Rpc.conn_info -> fh:Proto.fh -> op:op -> string option
+(** Consulted before handle validation and authorization. [Some
+    reply] short-circuits the operation with those fully-encoded
+    reply bytes — the cluster layer answers for non-owned handles
+    with a signed [NFSERR_MOVED] redirect here (PROTOCOL.md §11.2).
+    [None] lets the operation proceed locally. *)
+
+val no_route : route
+(** Serve everything locally — the single-server default. *)
+
 type t
 
 val create : fs:Ffs.Fs.t -> ?hooks:hooks -> unit -> t
 val fs : t -> Ffs.Fs.t
 val set_hooks : t -> hooks -> unit
+
+val set_route : t -> route -> unit
+(** Install a shard router in front of the hooks. *)
 
 val root_fh : t -> Proto.fh
 

@@ -278,6 +278,65 @@ let test_store_parse_error () =
     | Error _ -> true
     | Ok _ -> false)
 
+(* --- Pass C: documentation cross-references --------------------------- *)
+
+(* The markdown fixtures are read from the build tree like the cmt
+   fixtures; the dune test stanza carries (source_tree
+   lint_fixtures/docs) plus the lib dune/mli files for the library
+   map. *)
+let doc_root = ".."
+
+let test_doccheck_libmap () =
+  let m = Lint.Doccheck.lib_map ~root:doc_root in
+  let assoc k = try List.assoc k m with Not_found -> Alcotest.failf "no %s in lib map" k in
+  Alcotest.(check string) "wrapped name maps to directory" "lib/core" (assoc "Discfs");
+  Alcotest.(check string) "name differs from directory" "lib/rpc" (assoc "Oncrpc");
+  Alcotest.(check string) "crypto lib" "lib/crypto" (assoc "Dcrypto")
+
+let doc_findings file =
+  Lint.Doccheck.check_file ~root:doc_root
+    ~libmap:(Lint.Doccheck.lib_map ~root:doc_root)
+    ("test/lint_fixtures/docs/" ^ file)
+
+let test_doccheck_bad () =
+  let fs = doc_findings "bad.md" in
+  let msgs = List.map (fun f -> f.Lint.Doccheck.message) fs in
+  let seeded prefix =
+    Alcotest.(check bool)
+      (prefix ^ " finding seeded") true
+      (List.exists
+         (fun m -> String.length m >= String.length prefix
+                   && String.sub m 0 (String.length prefix) = prefix)
+         msgs)
+  in
+  Alcotest.(check int) "exactly the five seeded findings" 5 (List.length fs);
+  seeded "dead link: no_such_file.md";
+  seeded "bad anchor: good.md#no-such-heading";
+  seeded "bad anchor: #not-a-heading-here";
+  seeded "stale module reference: Discfs.No_such_module";
+  seeded "stale path: lib/core/no_such_file.ml";
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "repo-relative path" "test/lint_fixtures/docs/bad.md"
+        f.Lint.Doccheck.file)
+    fs
+
+let test_doccheck_clean () =
+  Alcotest.(check int) "clean fixture has no findings" 0
+    (List.length (doc_findings "good.md"));
+  (* the repo's real documentation must stay clean too — this is the
+     in-process face of what `dune build @lint` enforces *)
+  let repo_docs = Lint.Doccheck.default_files ~root:doc_root in
+  Alcotest.(check bool) "repo docs discovered" true (List.length repo_docs >= 2);
+  Alcotest.(check (list string)) "repo docs cross-reference cleanly" []
+    (List.map Lint.Doccheck.render_finding
+       (Lint.Doccheck.check ~root:doc_root repo_docs))
+
+let test_doccheck_missing () =
+  match doc_findings "absent.md" with
+  | [ f ] -> Alcotest.(check string) "unreadable file is one finding" "cannot read file" f.Lint.Doccheck.message
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
 let suite =
   [
     ("pass-a: determinism", `Quick, test_determinism);
@@ -302,4 +361,8 @@ let suite =
     ("pass-b: bad signature", `Quick, test_graph_bad_signature);
     ("pass-b: on-disk store", `Quick, test_store_roundtrip);
     ("pass-b: store parse error", `Quick, test_store_parse_error);
+    ("pass-c: library map discovery", `Quick, test_doccheck_libmap);
+    ("pass-c: seeded doc findings", `Quick, test_doccheck_bad);
+    ("pass-c: clean fixture and real docs", `Quick, test_doccheck_clean);
+    ("pass-c: unreadable file", `Quick, test_doccheck_missing);
   ]

@@ -24,4 +24,5 @@ let () =
       ("conc", Test_conc.suite);
       ("slo", Test_load.suite);
       ("bonnie", Test_bonnie.suite);
+      ("topo", Test_topo.suite);
     ]
