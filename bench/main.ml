@@ -22,6 +22,11 @@
                                                          (server-axis scaling over the
                                                           sharded cluster; default JSON
                                                           output BENCH_topology.json)
+          dune exec bench/main.exe -- race_explore [--smoke] [--seeds N] [--json PATH]
+                                                         (schedule exploration: tie-seed
+                                                          perturbation equivalence + the
+                                                          dynamic race-checker gates;
+                                                          default BENCH_race_explore.json)
           dune exec bench/main.exe -- trace              (JSONL span dump)
 *)
 
@@ -1075,6 +1080,158 @@ let slo_bench ?json ~smoke () =
     say "  wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* race_explore: schedule perturbation + dynamic-checker gates         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each scenario runs once on the default schedule, once more to pin
+   determinism, once with the happens-before checker armed (which must
+   leave every virtual-time observable byte-identical — the monitors
+   record, they never charge cost or yield), and then once per tie
+   seed; every perturbed schedule must end with the same logical
+   filesystem fingerprint and op accounting. Any divergence is already
+   minimized: the harness names the seed and exits non-zero. *)
+
+type explored = {
+  ex_observable : string;  (** virtual-time observables, races excluded *)
+  ex_fingerprint : string;
+  ex_races : int;
+}
+
+let race_explore_scenarios ~smoke =
+  let storm ~seed ~clients ~dirs ~files_per_dir ?tie_seed ?(racecheck = false)
+      () =
+    let r =
+      Load.Scenario.boot_storm ~seed ~clients ~dirs ~files_per_dir ~workers:4
+        ~queue_depth:32 ?tie_seed ~racecheck ()
+    in
+    {
+      ex_observable =
+        Printf.sprintf "ops=%d failed=%d makespan=%.6f spread=%.6f qpeak=%d bc=%d/%d fp=%s"
+          r.Load.Scenario.st_ops r.Load.Scenario.st_failed
+          r.Load.Scenario.st_makespan r.Load.Scenario.st_spread
+          r.Load.Scenario.st_qpeak r.Load.Scenario.st_bcache_hits
+          r.Load.Scenario.st_bcache_misses r.Load.Scenario.st_fingerprint;
+      ex_fingerprint = r.Load.Scenario.st_fingerprint;
+      ex_races = r.Load.Scenario.st_races;
+    }
+  in
+  let churn ?tie_seed ?(racecheck = false) () =
+    let spec =
+      {
+        Load.Scenario.default_churn with
+        Load.Scenario.cs_seed = "race-explore-churn";
+        cs_rate = 2.0;
+        cs_duration = (if smoke then 120.0 else 600.0);
+        cs_initial_clients = 3;
+        cs_join_every = 30.0;
+        cs_leave_every = 45.0;
+        (* crashless: without timeouts, every offered op completes in
+           every schedule, so content digests must agree exactly *)
+        cs_crash_at = None;
+        cs_workers = 2;
+        cs_queue_depth = 16;
+      }
+    in
+    let r = Load.Scenario.churn ~spec ?tie_seed ~racecheck () in
+    {
+      ex_observable =
+        Printf.sprintf
+          "offered=%d completed=%d failed=%d joins=%d leaves=%d rekeys=%d executed=%d fp=%s"
+          r.Load.Scenario.ch_offered r.Load.Scenario.ch_completed
+          r.Load.Scenario.ch_failed r.Load.Scenario.ch_joins
+          r.Load.Scenario.ch_leaves r.Load.Scenario.ch_rekeys
+          r.Load.Scenario.ch_executed r.Load.Scenario.ch_fingerprint;
+      ex_fingerprint = r.Load.Scenario.ch_fingerprint;
+      ex_races = r.Load.Scenario.ch_races;
+    }
+  in
+  [
+    (* the Figure-12-style read walk: a small convoy over the shared
+       tree, LOOKUP/READDIR/GETATTR/READ *)
+    ( "walk",
+      fun ?tie_seed ?racecheck () ->
+        storm ~seed:"race-explore-walk"
+          ~clients:(if smoke then 6 else 16)
+          ~dirs:3 ~files_per_dir:3 ?tie_seed ?racecheck () );
+    ( "boot_storm",
+      fun ?tie_seed ?racecheck () ->
+        storm ~seed:"race-explore-storm"
+          ~clients:(if smoke then 16 else 64)
+          ~dirs:4 ~files_per_dir:4 ?tie_seed ?racecheck () );
+    ("churn", churn);
+  ]
+
+let race_explore ?json ~smoke ~nseeds () =
+  say "@.Race exploration: %d tie-seed perturbations per scenario, plus the" nseeds;
+  say "  dynamic-checker gates (zero reports; instrumentation invisible in";
+  say "  every virtual-time observable, armed or not).";
+  let seeds = List.init nseeds (fun i -> Int64.of_int ((i + 1) * 1000003)) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"seeds\": ";
+  Buffer.add_string buf (string_of_int nseeds);
+  Buffer.add_string buf ",\n  \"scenarios\": [\n";
+  let failures = ref 0 in
+  let scenarios = race_explore_scenarios ~smoke in
+  List.iteri
+    (fun si
+         ((name, run) :
+           string * (?tie_seed:int64 -> ?racecheck:bool -> unit -> explored)) ->
+      let base = run () in
+      let again = run () in
+      let det = String.equal base.ex_observable again.ex_observable in
+      if not det then begin
+        say "  %-10s NOT deterministic across two default runs" name;
+        incr failures
+      end;
+      let armed = run ~racecheck:true () in
+      let invisible = String.equal base.ex_observable armed.ex_observable in
+      if not invisible then begin
+        say "  %-10s checker alters virtual-time behavior" name;
+        incr failures
+      end;
+      if armed.ex_races <> 0 then begin
+        say "  %-10s %d race report(s) — atomicity refuted" name armed.ex_races;
+        incr failures
+      end;
+      let diverged =
+        List.filter
+          (fun s ->
+            let p = run ~tie_seed:s () in
+            not (String.equal p.ex_fingerprint base.ex_fingerprint))
+          seeds
+      in
+      List.iter
+        (fun s -> say "  %-10s DIVERGES under tie seed %Ld" name s)
+        diverged;
+      if diverged <> [] then incr failures;
+      say "  %-10s schedules=%d/%d identical  deterministic=%s  races=%d  invisible=%s"
+        name
+        (nseeds - List.length diverged)
+        nseeds
+        (if det then "yes" else "NO")
+        armed.ex_races
+        (if invisible then "yes" else "NO");
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"fingerprint\": %S, \"identical_schedules\": %d, \
+            \"deterministic\": %b, \"races\": %d, \"checker_invisible\": %b}%s\n"
+           name base.ex_fingerprint
+           (nseeds - List.length diverged)
+           det armed.ex_races invisible
+           (if si = List.length scenarios - 1 then "" else ","))
+      )
+    scenarios;
+  Buffer.add_string buf "  ]\n}\n";
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    say "  wrote %s" path);
+  if !failures > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: one Test.make per figure + micro-costs (A3)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1284,6 +1441,26 @@ let () =
       find argv
     in
     topology ?json ~smoke:(has "--smoke") ();
+    say "@.done."
+  end
+  else if has "race_explore" then begin
+    let json =
+      let rec find = function
+        | "--json" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> Some "BENCH_race_explore.json"
+      in
+      find argv
+    in
+    let nseeds =
+      let rec find = function
+        | "--seeds" :: n :: _ -> max 1 (int_of_string n)
+        | _ :: rest -> find rest
+        | [] -> 8
+      in
+      find argv
+    in
+    race_explore ?json ~smoke:(has "--smoke") ~nseeds ();
     say "@.done."
   end
   else if has "trace" then trace_dump ()

@@ -2,15 +2,22 @@
 
    - check:       run every typed-AST rule over the .cmt files dune
                   produced for lib/, bin/, bench/ and test/, plus the
-                  mli-coverage walk over lib/ sources. This is what
-                  `dune build @lint` runs.
+                  mli-coverage walk over lib/ sources, the races
+                  escape analysis (Pass D) and the markdown
+                  cross-reference pass. This is what `dune build
+                  @lint` runs.
    - cmt:         lint specific .cmt files under a forced role — used
                   by the fixture tests and the golden report.
+   - races:       the spawn-point shared-state escape analysis alone,
+                  with its full inventory available as --json.
    - credentials: statically analyze a KeyNote credential store
                   (Pass B) before deployment.
    - docs:        cross-reference the markdown documentation (Pass C)
                   alone; `check` includes this pass unless told not
-                  to. *)
+                  to.
+
+   Exit codes, uniform across passes: 0 clean, 1 findings, 2 usage or
+   internal error (Cmdliner's 124/125 are folded into 2). *)
 
 open Cmdliner
 
@@ -22,50 +29,103 @@ let print_findings findings =
 let finish ~exit_zero n_findings =
   if n_findings = 0 || exit_zero then 0 else 1
 
+(* Minimal JSON string escaping for the machine-readable outputs. *)
+let jesc s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_rule_findings findings =
+  String.concat ","
+    (List.map
+       (fun f ->
+         Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+           (jesc f.Lint.Rules.file) f.Lint.Rules.line f.Lint.Rules.col
+           (Lint.Rules.rule_name f.Lint.Rules.rule)
+           (jesc f.Lint.Rules.message))
+       findings)
+
+let json_of_doc_findings findings =
+  String.concat ","
+    (List.map
+       (fun f ->
+         Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"rule\":\"doc\",\"message\":\"%s\"}"
+           (jesc f.Lint.Doccheck.file) f.Lint.Doccheck.line (jesc f.Lint.Doccheck.message))
+       findings)
+
 (* --- check ------------------------------------------------------------- *)
 
 let default_scan_dirs = [ "lib"; "bin"; "bench"; "test" ]
-let default_excludes = [ "test/lint_fixtures" ]
+let default_excludes = [ "test/lint_fixtures"; "test/race_fixtures" ]
 
 let is_under prefix path =
   String.length path >= String.length prefix && String.sub path 0 (String.length prefix) = prefix
 
-let check root dirs excludes exit_zero quiet no_docs =
+let check root dirs excludes exit_zero quiet no_docs json =
   let dirs = if dirs = [] then default_scan_dirs else dirs in
   let excludes = excludes @ default_excludes in
+  let excluded f = List.exists (fun e -> is_under e f) excludes in
   let errors = ref [] in
   let findings = ref [] in
   let n_modules = ref 0 in
+  let cmts =
+    List.concat_map (fun dir -> Lint.Rules.scan_cmts (root // dir)) dirs
+  in
   List.iter
-    (fun dir ->
-      Lint.Rules.scan_cmts (root // dir)
-      |> List.iter (fun cmt ->
-             match Lint.Rules.check_cmt ~source_root:root cmt with
-             | Error m -> errors := m :: !errors
-             | Ok fs ->
-               incr n_modules;
-               let fs =
-                 List.filter
-                   (fun f ->
-                     not
-                       (List.exists (fun e -> is_under e f.Lint.Rules.file) excludes))
-                   fs
-               in
-               findings := fs @ !findings))
-    dirs;
+    (fun cmt ->
+      match Lint.Rules.check_cmt ~source_root:root cmt with
+      | Error m -> errors := m :: !errors
+      | Ok fs ->
+        incr n_modules;
+        findings := List.filter (fun f -> not (excluded f.Lint.Rules.file)) fs @ !findings)
+    cmts;
   findings := Lint.Rules.check_mli_coverage ~source_root:root "lib" @ !findings;
   let findings = List.sort_uniq Lint.Rules.compare_finding !findings in
-  print_findings findings;
+  (* Pass D rides along: the spawn-point escape analysis over the
+     same .cmt set. The inventory's clean entries are dropped here;
+     `discfs_lint races --json` has the full listing. *)
+  let race_entries, race_errors =
+    Lint.Races.scan ~source_root:root
+      (List.filter (fun c -> not (excluded c)) cmts)
+  in
+  let race_entries = List.filter (fun e -> not (excluded e.Lint.Races.e_file)) race_entries in
+  let race_violations = List.filter Lint.Races.is_violation race_entries in
+  errors := List.rev_append race_errors !errors;
   let doc_findings =
     if no_docs then []
     else Lint.Doccheck.check ~root (Lint.Doccheck.default_files ~root)
   in
-  List.iter (fun f -> print_endline (Lint.Doccheck.render_finding f)) doc_findings;
+  if json then
+    Printf.printf
+      "{\"pass\":\"check\",\"findings\":[%s],\"doc_findings\":[%s],\"races\":%s,\"modules\":%d}\n"
+      (json_of_rule_findings findings)
+      (json_of_doc_findings doc_findings)
+      (Lint.Races.json_of_entries race_entries)
+      !n_modules
+  else begin
+    print_findings findings;
+    List.iter (fun e -> print_endline (Lint.Races.render_entry e)) race_violations;
+    List.iter (fun f -> print_endline (Lint.Doccheck.render_finding f)) doc_findings
+  end;
   List.iter (fun m -> prerr_endline ("discfs_lint: warning: " ^ m)) (List.rev !errors);
-  let total = List.length findings + List.length doc_findings in
+  let total =
+    List.length findings + List.length race_violations + List.length doc_findings
+  in
   if not quiet then
-    Printf.eprintf "discfs_lint: %d finding(s) in %d module(s), %d doc finding(s)\n%!"
-      (List.length findings) !n_modules (List.length doc_findings);
+    Printf.eprintf
+      "discfs_lint: %d finding(s) in %d module(s), %d race finding(s), %d doc finding(s)\n%!"
+      (List.length findings) !n_modules
+      (List.length race_violations)
+      (List.length doc_findings);
   finish ~exit_zero total
 
 let root_arg =
@@ -80,6 +140,11 @@ let exit_zero_arg =
   Arg.(
     value & flag
     & info [ "exit-zero" ] ~doc:"Report findings but exit 0 anyway (for golden tests).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Machine-readable JSON on stdout instead of the text report.")
 
 let check_cmd =
   let dirs = Arg.(value & pos_all string [] & info [] ~docv:"DIR") in
@@ -96,7 +161,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Lint the whole repo's typed ASTs and docs (what dune build @lint runs)")
-    Term.(const check $ root_arg $ dirs $ excludes $ exit_zero_arg $ quiet $ no_docs)
+    Term.(const check $ root_arg $ dirs $ excludes $ exit_zero_arg $ quiet $ no_docs $ json_arg)
 
 (* --- cmt --------------------------------------------------------------- *)
 
@@ -113,7 +178,7 @@ let role_conv =
   in
   Arg.conv (parse, print)
 
-let cmt root role exit_zero files =
+let cmt root role exit_zero json files =
   let findings = ref [] and errors = ref [] in
   List.iter
     (fun file ->
@@ -126,7 +191,9 @@ let cmt root role exit_zero files =
         files)
     files;
   let findings = List.sort_uniq Lint.Rules.compare_finding !findings in
-  print_findings findings;
+  if json then
+    Printf.printf "{\"pass\":\"cmt\",\"findings\":[%s]}\n" (json_of_rule_findings findings)
+  else print_findings findings;
   List.iter (fun m -> prerr_endline ("discfs_lint: warning: " ^ m)) (List.rev !errors);
   finish ~exit_zero (List.length findings)
 
@@ -143,14 +210,67 @@ let cmt_cmd =
   in
   Cmd.v
     (Cmd.info "cmt" ~doc:"Lint specific .cmt files (fixture tests, golden report)")
-    Term.(const cmt $ root_arg $ role $ exit_zero_arg $ files)
+    Term.(const cmt $ root_arg $ role $ exit_zero_arg $ json_arg $ files)
+
+(* --- races ------------------------------------------------------------- *)
+
+let races root dirs exit_zero json all files =
+  let cmts =
+    if files <> [] then
+      List.concat_map
+        (fun f -> if Sys.is_directory f then Lint.Rules.scan_cmts f else [ f ])
+        files
+    else
+      let dirs = if dirs = [] then [ "lib" ] else dirs in
+      List.concat_map (fun dir -> Lint.Rules.scan_cmts (root // dir)) dirs
+  in
+  let entries, errors = Lint.Races.scan ~source_root:root cmts in
+  let violations = List.filter Lint.Races.is_violation entries in
+  if json then print_endline (Lint.Races.json_of_entries entries)
+  else
+    List.iter
+      (fun e -> print_endline (Lint.Races.render_entry e))
+      (if all then entries else violations);
+  List.iter (fun m -> prerr_endline ("discfs_lint: warning: " ^ m)) errors;
+  finish ~exit_zero (List.length violations)
+
+let races_cmd =
+  let dirs =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Scan the .cmt trees under \\$(i,root)/$(docv) (default: lib). May repeat.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Print the full inventory (mailbox-mediated, atomic-section and suppressed \
+             entries included), not just the violations.")
+  in
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CMT" ~doc:"Specific .cmt files or directories (overrides --dir).")
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Shared-state escape analysis at spawn points (Pass D): mutable values captured \
+          by closures handed to the scheduler, classified against the approved mediation \
+          surfaces")
+    Term.(const races $ root_arg $ dirs $ exit_zero_arg $ json_arg $ all $ files)
 
 (* --- docs -------------------------------------------------------------- *)
 
-let docs root exit_zero files =
+let docs root exit_zero json files =
   let files = if files = [] then Lint.Doccheck.default_files ~root else files in
   let findings = Lint.Doccheck.check ~root files in
-  List.iter (fun f -> print_endline (Lint.Doccheck.render_finding f)) findings;
+  if json then
+    Printf.printf "{\"pass\":\"docs\",\"findings\":[%s]}\n" (json_of_doc_findings findings)
+  else List.iter (fun f -> print_endline (Lint.Doccheck.render_finding f)) findings;
   finish ~exit_zero (List.length findings)
 
 let docs_cmd =
@@ -163,11 +283,11 @@ let docs_cmd =
   Cmd.v
     (Cmd.info "docs"
        ~doc:"Cross-reference the markdown docs (dead links, bad anchors, stale code refs)")
-    Term.(const docs $ root_arg $ exit_zero_arg $ files)
+    Term.(const docs $ root_arg $ exit_zero_arg $ json_arg $ files)
 
 (* --- credentials ------------------------------------------------------- *)
 
-let credentials dir now no_verify revoked_keys revoked_fps values exit_zero =
+let credentials dir now no_verify revoked_keys revoked_fps values exit_zero json =
   let config =
     {
       Lint.Credgraph.values =
@@ -183,7 +303,23 @@ let credentials dir now no_verify revoked_keys revoked_fps values exit_zero =
     prerr_endline ("discfs_lint: " ^ m);
     2
   | Ok report ->
-    print_string (Lint.Credgraph.render report);
+    if json then
+      Printf.printf
+        "{\"pass\":\"credentials\",\"findings\":[%s],\"credentials\":%d,\"principals\":%d}\n"
+        (String.concat ","
+           (List.map
+              (fun f ->
+                Printf.sprintf
+                  "{\"kind\":\"%s\",\"fingerprint\":%s,\"subject\":\"%s\",\"message\":\"%s\"}"
+                  (Lint.Credgraph.kind_name f.Lint.Credgraph.kind)
+                  (match f.Lint.Credgraph.fingerprint with
+                  | None -> "null"
+                  | Some fp -> Printf.sprintf "\"%s\"" (jesc fp))
+                  (jesc f.Lint.Credgraph.subject)
+                  (jesc f.Lint.Credgraph.message))
+              report.Lint.Credgraph.findings))
+        report.Lint.Credgraph.n_credentials report.Lint.Credgraph.n_principals
+    else print_string (Lint.Credgraph.render report);
     finish ~exit_zero (List.length report.Lint.Credgraph.findings)
 
 let credentials_cmd =
@@ -221,12 +357,16 @@ let credentials_cmd =
        ~doc:"Statically analyze a KeyNote credential store (cycles, dead and escalated chains)")
     Term.(
       const credentials $ dir $ now $ no_verify $ revoked_keys $ revoked_fps $ values
-      $ exit_zero_arg)
+      $ exit_zero_arg $ json_arg)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "discfs_lint" ~version:"1.0"
        ~doc:"Static analysis for the DisCFS tree and its credential stores")
-    [ check_cmd; cmt_cmd; docs_cmd; credentials_cmd ]
+    [ check_cmd; cmt_cmd; races_cmd; docs_cmd; credentials_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Fold Cmdliner's cli-error (124) and internal-error (125) statuses
+   into the documented "2 = usage or internal error" contract. *)
+let () =
+  let code = Cmd.eval' main_cmd in
+  exit (if code >= 124 then 2 else code)

@@ -169,6 +169,7 @@ let discfs ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) ?(cache_siz
        server's policy check) entirely. *)
     let cache = Nfs.Cache.create ~client:nfs ~clock:d.Discfs.Deploy.clock ?attr_ttl ?name_ttl () in
     Nfs.Cache.set_trace cache d.Discfs.Deploy.trace;
+    Nfs.Cache.set_race cache (Discfs.Deploy.race_monitor d "nfs.cache");
     attr_caches := (d.Discfs.Deploy.clock, cache) :: !attr_caches;
     let syscall () = Clock.advance d.Discfs.Deploy.clock Cost.default.Cost.syscall in
     let to_fh fs = function

@@ -25,15 +25,27 @@ type t = {
   sched : Simnet.Sched.t option;
   workers : int option;
   queue_depth : int;
+  race : Race.ctx option;
   mutable restarts : int;
 }
 
 let default_queue_depth = 64
 
+(* The monitors a race-checked deployment wires into the server-side
+   shared structures; client-side caches attach through
+   {!race_monitor} as they are created. *)
+let wire_race_server race ~dev ~rpc ~server =
+  match race with
+  | None -> ()
+  | Some ctx ->
+    Ffs.Bcache.set_race (Ffs.Blockdev.bcache dev) (Race.monitor ctx "bcache");
+    Rpc.set_race rpc ~drc:(Race.monitor ctx "drc") ~in_flight:(Race.monitor ctx "rpc.inflight");
+    Policy_cache.set_race (Server.cache server) (Race.monitor ctx "policy")
+
 let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
     ?(ninodes = 8192) ?(cache_size = 128) ?(cache_blocks = 0) ?readahead ?hour
     ?strict_handles ?(seed = "discfs-deploy") ?fault ?(tracing = false) ?workers
-    ?(queue_depth = default_queue_depth) () =
+    ?(queue_depth = default_queue_depth) ?(racecheck = false) ?tie_seed () =
   let clock = Clock.create () in
   let stats = Stats.create () in
   let metrics = Trace.Metrics.create () in
@@ -70,9 +82,24 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
     | Some w ->
       let sched = Simnet.Sched.create ~clock in
       Simnet.Sched.attach_clock sched;
+      Simnet.Sched.set_tie_seed sched tie_seed;
       Rpc.set_pool rpc ~sched ~workers:w ~queue_depth;
       Some sched
   in
+  (* Race checking needs a scheduler (pids and yield epochs come from
+     it); a serial deployment has no interleaving to check. *)
+  let race =
+    match (racecheck, sched) with
+    | true, Some sched ->
+      Some
+        (Race.create
+           ~pid:(fun () -> Simnet.Sched.current_pid sched)
+           ~epoch:(fun () -> Simnet.Sched.events_run sched)
+           ~annotate:(fun () -> Trace.current trace)
+           ())
+    | _ -> None
+  in
+  wire_race_server race ~dev ~rpc ~server;
   Server.attach_rpc server rpc;
   {
     clock;
@@ -93,8 +120,14 @@ let make ?(cost = Simnet.Cost.default) ?(nblocks = 16384) ?(block_size = 8192)
     sched;
     workers;
     queue_depth;
+    race;
     restarts = 0;
   }
+
+let race_ctx t = t.race
+
+let race_monitor t name =
+  match t.race with None -> Race.null | Some ctx -> Race.monitor ctx name
 
 let new_identity t = Dsa.generate_key t.drbg
 
@@ -152,6 +185,10 @@ let crash_and_restart t =
   (match (t.sched, t.workers) with
   | Some sched, Some w -> Rpc.set_pool rpc ~sched ~workers:w ~queue_depth:t.queue_depth
   | _ -> ());
+  (* The new incarnation's DRC, in-flight map and policy cache are
+     fresh objects — re-attach the monitors (the buffer cache object
+     survives the crash, its monitor with it). *)
+  wire_race_server t.race ~dev:t.dev ~rpc ~server;
   Server.attach_rpc server rpc;
   t.server <- server;
   t.rpc <- rpc

@@ -28,6 +28,7 @@ type t = {
   sched : Simnet.Sched.t option;
   workers : int option;
   queue_depth : int;
+  race : Race.ctx option;
   mutable restarts : int;
 }
 
@@ -46,6 +47,8 @@ val make :
   ?tracing:bool ->
   ?workers:int ->
   ?queue_depth:int ->
+  ?racecheck:bool ->
+  ?tie_seed:int64 ->
   unit ->
   t
 (** Defaults: 2001-era cost model, 8 K blocks, 16 Ki blocks (128 MB
@@ -76,7 +79,21 @@ val make :
     from plain code keep the serial semantics, so setup and
     single-client workloads are unchanged. Survives
     {!crash_and_restart} (the new incarnation gets a fresh, empty
-    queue on the same scheduler). *)
+    queue on the same scheduler).
+
+    [racecheck] (default off) arms the happens-before race checker:
+    a {!Race.ctx} keyed to the scheduler's pids and yield epochs is
+    created and its monitors are wired into the server-side shared
+    structures (buffer cache, duplicate-request cache, in-flight
+    coalescing map, policy cache); client-side caches pick theirs up
+    through {!race_monitor}. Requires [workers] (a serial deployment
+    has no interleaving to check) — without a scheduler the flag is
+    ignored and every monitor stays {!Race.null}, so the disabled
+    mode is byte-identical to a build without the checker.
+
+    [tie_seed] perturbs the scheduler's tie order among same-time
+    events ({!Simnet.Sched.set_tie_seed}): schedule exploration for
+    the race harness. [None] (default) preserves FIFO order. *)
 
 val make_cluster :
   ?cost:Simnet.Cost.t ->
@@ -106,6 +123,16 @@ val make_cluster :
     across them, uids 1000.., identities drawn from the cluster DRBG
     in client order. {!make} remains the single-pair fast path; see
     [docs/TOPOLOGY.md] for the cluster layer map. *)
+
+val race_ctx : t -> Race.ctx option
+(** The happens-before checker context, when the deployment was made
+    with [~racecheck:true] and a scheduler. Read its reports after a
+    run ({!Race.reports}) or hand it to a renderer. *)
+
+val race_monitor : t -> string -> Race.monitor
+(** A monitor over the deployment's race context for a client-side
+    structure (e.g. the NFS attribute cache) — {!Race.null} when
+    race checking is off, so callers can attach unconditionally. *)
 
 val new_identity : t -> Dcrypto.Dsa.private_key
 (** Generate a fresh user key pair from the testbed's DRBG. *)

@@ -1,3 +1,8 @@
+(* discfs-lint: atomic-section — lookup/add/flush complete inside one slice;
+   the check-then-act window across a cold policy evaluation is instrumented
+   for the dynamic checker (set_race), with epoch-keyed duplicate fills
+   benign. *)
+
 type t = {
   capacity : int;
   entries : (string, int * int ref) Hashtbl.t; (* key -> (level, last-use stamp) *)
@@ -7,6 +12,7 @@ type t = {
   mutable evictions : int;
   mutable flushes : int;
   mutable trace : Trace.t;
+  mutable race : Race.monitor;
 }
 
 let create ~size =
@@ -20,9 +26,11 @@ let create ~size =
     evictions = 0;
     flushes = 0;
     trace = Trace.null;
+    race = Race.null;
   }
 
 let set_trace t trace = t.trace <- trace
+let set_race t m = t.race <- m
 
 let metric t name =
   match Trace.metrics t.trace with
@@ -56,12 +64,18 @@ let find t ~key =
   match Hashtbl.find_opt t.entries key with
   | Some (level, stamp) ->
     t.hits <- t.hits + 1;
+    Race.read t.race ~key;
     stamp := touch t;
     Trace.instant t.trace "policy.cache.hit";
     metric t "cache.policy.hits";
     Some level
   | None ->
     t.misses <- t.misses + 1;
+    (* A miss commits the caller to a (yielding) KeyNote query whose
+       answer it will memoize: a check-then-act window. Keys embed
+       the credential epoch, so concurrent duplicate fills carry the
+       same level and classify benign. *)
+    Race.check t.race ~key;
     Trace.instant t.trace "policy.cache.miss";
     metric t "cache.policy.misses";
     None
@@ -83,6 +97,7 @@ let evict_lru t =
 
 let add t ~key level =
   if t.capacity > 0 then begin
+    Race.act t.race ~value:(string_of_int level) ~key ();
     if (not (Hashtbl.mem t.entries key)) && Hashtbl.length t.entries >= t.capacity then
       evict_lru t;
     Hashtbl.replace t.entries key (level, ref (touch t))
@@ -90,7 +105,11 @@ let add t ~key level =
 
 let flush t =
   if Hashtbl.length t.entries > 0 then t.flushes <- t.flushes + 1;
-  Hashtbl.reset t.entries
+  Hashtbl.reset t.entries;
+  (* Epoch-keyed entries can never be refilled under their old keys
+     after a flush (the epoch changed), so surviving check windows
+     are dead — drop them rather than let them pair across the flush. *)
+  Race.wipe t.race
 
 let hits t = t.hits
 let misses t = t.misses

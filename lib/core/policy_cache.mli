@@ -39,6 +39,11 @@ val set_trace : t -> Trace.t -> unit
 (** Adopt a tracer (default {!Trace.null}: instrumentation is
     free). *)
 
+val set_race : t -> Race.monitor -> unit
+(** Attach a race monitor (default {!Race.null}): misses open
+    check-then-act windows closed by {!add} — epoch-keyed duplicate
+    fills classify benign — and {!flush} wipes per-key state. *)
+
 val key : peer:string -> attributes:(string * string) list -> epoch:string -> string
 (** The memo key: SHA-1 (hex) of a canonical encoding of the
     requesting principal, the action attributes (order-insensitive:

@@ -1,3 +1,7 @@
+(* discfs-lint: atomic-section — cache mutation completes inside one slice;
+   fills that straddle a yield are generation-guarded (insert_if) and every
+   access is instrumented for the dynamic checker (set_race). *)
+
 (* Doubly-linked intrusive LRU so find/insert/evict are all O(1);
    the node table and the list share the same records. *)
 
@@ -16,6 +20,9 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable generation : int;
+  mutable stale_fills : int;
+  mutable race : Race.monitor;
 }
 
 let create ~capacity =
@@ -28,6 +35,9 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     evictions = 0;
+    generation = 0;
+    stale_fills = 0;
+    race = Race.null;
   }
 
 let capacity t = t.capacity
@@ -35,6 +45,9 @@ let size t = Hashtbl.length t.nodes
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let generation t = t.generation
+let stale_fills t = t.stale_fills
+let set_race t m = t.race <- m
 
 (* Detach [n] from the recency list (not from the table). *)
 let unlink t n =
@@ -55,16 +68,27 @@ let find t i =
   match Hashtbl.find_opt t.nodes i with
   | Some n ->
     t.hits <- t.hits + 1;
+    Race.read t.race ~key:(string_of_int i);
     unlink t n;
     push_front t n;
     Some (Bytes.copy n.data)
   | None ->
     t.misses <- t.misses + 1;
+    (* A miss opens a check-then-act window: the caller will go to
+       disk (yielding) and fill this index on return. *)
+    Race.check t.race ~key:(string_of_int i);
     None
 
-let mem t i = Hashtbl.mem t.nodes i
+let mem t i =
+  if Hashtbl.mem t.nodes i then true
+  else begin
+    (* A readahead presence probe is also a fill decision. *)
+    Race.check t.race ~key:(string_of_int i);
+    false
+  end
 
 let remove t i =
+  Race.write t.race ~key:(string_of_int i) ();
   match Hashtbl.find_opt t.nodes i with
   | Some n ->
     unlink t n;
@@ -81,6 +105,7 @@ let evict_lru t =
 
 let insert t i data =
   if t.capacity > 0 then begin
+    Race.act t.race ~value:(Bytes.to_string data) ~key:(string_of_int i) ();
     match Hashtbl.find_opt t.nodes i with
     | Some n ->
       n.data <- Bytes.copy data;
@@ -93,7 +118,18 @@ let insert t i data =
       push_front t n
   end
 
+(* Generation-guarded fill: a fill whose decision (miss, readahead
+   probe, write-through) predates the last {!drop} must not warm the
+   next incarnation's deliberately-cold cache — the I/O it rode
+   yielded across a crash. Callers capture {!generation} before the
+   yield and fill through here. *)
+let insert_if t ~generation i data =
+  if generation = t.generation then insert t i data
+  else t.stale_fills <- t.stale_fills + 1
+
 let drop t =
   Hashtbl.reset t.nodes;
   t.mru <- None;
-  t.lru <- None
+  t.lru <- None;
+  t.generation <- t.generation + 1;
+  Race.wipe t.race

@@ -29,6 +29,13 @@ val insert : t -> int -> bytes -> unit
 (** Fill or update block [i], making it most recently used; evicts
     the least-recently-used block when full. *)
 
+val insert_if : t -> generation:int -> int -> bytes -> unit
+(** {!insert}, but only when the cache is still the incarnation the
+    caller sampled with {!generation} — otherwise the fill is dropped
+    and counted in {!stale_fills}. Guards fills whose miss/probe
+    decision yielded across a {!drop} (crash-and-restart): a cold
+    boot must stay cold even with I/O in flight. *)
+
 val remove : t -> int -> unit
 (** Forget block [i] if present (no eviction counted: removal is a
     coherence action, not capacity pressure). *)
@@ -42,3 +49,17 @@ val size : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+val generation : t -> int
+(** Bumped by every {!drop}; sample before a yielding fill path and
+    pass to {!insert_if}. *)
+
+val stale_fills : t -> int
+(** Fills refused by {!insert_if} because the cache was dropped while
+    their I/O was in flight. *)
+
+val set_race : t -> Race.monitor -> unit
+(** Attach a race monitor ({!Race.null} detaches): hits report reads,
+    misses and presence probes open check windows, inserts act with
+    the block bytes as the conflict value, removals write, {!drop}
+    wipes. *)

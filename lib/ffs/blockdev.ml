@@ -97,8 +97,11 @@ let prefetch t i =
     let fetched = ref 0 in
     while !j <= limit do
       if not (Bcache.mem t.cache !j) then begin
+        (* The probe above decided to fill; the transfer below yields.
+           Guard the fill against a cache drop (crash) in between. *)
+        let gen = Bcache.generation t.cache in
         Clock.advance t.clock (float_of_int t.block_size /. t.cost.Cost.disk_transfer_bps);
-        Bcache.insert t.cache !j (raw_block t !j);
+        Bcache.insert_if t.cache ~generation:gen !j (raw_block t !j);
         t.head <- !j;
         incr fetched
       end
@@ -122,6 +125,7 @@ let read t i =
   check t i;
   let sequential = i = t.last_req + 1 in
   t.last_req <- i;
+  let gen = Bcache.generation t.cache in
   match Bcache.find t.cache i with
   | Some data ->
     (* Buffer-cache hit: served from server memory — no head motion,
@@ -149,9 +153,12 @@ let read t i =
         | Some f -> Bytes.of_string (Simnet.Fault.corrupt_bytes f (Bytes.to_string data))
         | None -> data)
       | Some Simnet.Fault.Fail_write | None ->
-        (* Only a clean transfer is worth caching. *)
+        (* Only a clean transfer is worth caching — and only into the
+           incarnation whose miss started it: the disk charge above
+           yields, and a crash during it drops the cache, which must
+           then boot cold instead of inheriting this block. *)
         let before = Bcache.evictions t.cache in
-        Bcache.insert t.cache i data;
+        Bcache.insert_if t.cache ~generation:gen i data;
         note_eviction t before;
         data
     in
@@ -161,6 +168,7 @@ let read t i =
 let write t i b =
   check t i;
   if Bytes.length b <> t.block_size then invalid_arg "Blockdev.write: bad block length";
+  let gen = Bcache.generation t.cache in
   Trace.span t.trace "disk.write" @@ fun () ->
   charge t i;
   Stats.incr t.stats "disk.writes";
@@ -172,9 +180,13 @@ let write t i b =
   Hashtbl.replace t.store i (Bytes.copy b);
   (* Write-through: the cache is updated only after the device
      committed, so a failed write leaves both copies on the old
-     value and the cache can never hold data the disk lost. *)
+     value and the cache can never hold data the disk lost. The
+     generation guard keeps a write that straddled a crash from
+     warming the new incarnation's cold cache (the store update
+     stands — the controller had the data — but the old process's
+     memory is gone). *)
   let before = Bcache.evictions t.cache in
-  Bcache.insert t.cache i b;
+  Bcache.insert_if t.cache ~generation:gen i b;
   note_eviction t before
 
 let drop_cache t = Bcache.drop t.cache

@@ -106,3 +106,20 @@ val required_rules : string -> rule list
 (** The rules demanded by [discfs-lint: require] comments in the given
     source file — applied on top of the role's rule set (empty if the
     file cannot be read). *)
+
+(** {1 Shared helpers}
+
+    Used by the other typed-AST passes (the races pass in
+    {!Races}). *)
+
+val normalize_name : string -> string
+(** Collapse dune wrapping and [Stdlib] prefixes in a dotted path
+    name: ["Simnet__Sched.Mailbox.t"], ["Simnet.Sched.Mailbox.t"] and
+    ["Sched.Mailbox.t"] all normalize to the latter. *)
+
+val suffix_matches : string -> string -> bool
+(** [suffix_matches name suff]: [name] is [suff] or ends with
+    ["." ^ suff] (module-chain suffix match on normalized names). *)
+
+val read_file : string -> string option
+(** The file's bytes, or [None] if it cannot be opened. *)

@@ -1,3 +1,7 @@
+(* discfs-lint: atomic-section — completion counters and the latency
+   histogram are bumped in the completing process's own slice, never across
+   a yield. *)
+
 (* The open-loop driver: arrivals fire on the virtual clock whether
    or not earlier ops completed, and every op's latency is measured
    from its *scheduled arrival instant* — so time spent waiting for a

@@ -21,6 +21,42 @@ let mixed_op nfs fh i =
   | 1 -> ignore (Nfs.Client.getattr nfs fh)
   | _ -> ignore (Nfs.Client.read nfs fh ~off:(i * 2048 mod 8192) ~count:2048)
 
+(* Logical end-state fingerprint: the directory tree walked directly
+   on the server's filesystem — names, kinds, sizes and content
+   digests. Independent of inode numbering and block placement, so
+   tie-order perturbation of the schedule must leave it bit-identical
+   (the race_explore harness and the QCheck equivalence properties
+   both pin this). *)
+let fs_fingerprint fs =
+  let buf = Buffer.create 4096 in
+  let rec walk ino path =
+    List.iter
+      (fun (name, child) ->
+        if name <> "." && name <> ".." then
+          let p = path ^ "/" ^ name in
+          let a = Ffs.Fs.getattr fs child in
+          match a.Ffs.Inode.a_kind with
+          | Ffs.Inode.Dir ->
+            Buffer.add_string buf (Printf.sprintf "d %s\n" p);
+            walk child p
+          | Ffs.Inode.Symlink ->
+            Buffer.add_string buf
+              (Printf.sprintf "l %s -> %s\n" p (Ffs.Fs.readlink fs child))
+          | Ffs.Inode.Reg ->
+            let data = Ffs.Fs.read fs child ~off:0 ~len:a.Ffs.Inode.a_size in
+            Buffer.add_string buf
+              (Printf.sprintf "f %s %d %s\n" p a.Ffs.Inode.a_size
+                 (Dcrypto.Sha1.hex data)))
+      (List.sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (Ffs.Fs.readdir fs ino))
+  in
+  walk (Ffs.Fs.root fs) "";
+  Dcrypto.Sha1.hex (Buffer.contents buf)
+
+let race_total d =
+  match Deploy.race_ctx d with None -> 0 | Some ctx -> Race.total_reports ctx
+
 let attach_with_file d ~uid ?sa_lifetime ?retry name =
   let c = Deploy.attach d ~identity:d.Deploy.admin ~uid ?sa_lifetime ?retry () in
   let fh, _, _ = Client.create c ~dir:(Client.root c) name () in
@@ -112,6 +148,8 @@ type storm_report = {
   st_qpeak : int;
   st_rejects : int;
   st_retrans : int;
+  st_fingerprint : string;
+  st_races : int;
 }
 
 (* Every client walks the same read-only subtree at once — the
@@ -120,10 +158,11 @@ type storm_report = {
    one disk walk; per-client finish spread exposes worker-pool
    fairness (a starved client finishes long after the pack). *)
 let boot_storm ?(seed = "slo-storm") ?(clients = 200) ?(dirs = 4)
-    ?(files_per_dir = 4) ?(workers = 4) ?(queue_depth = 64) () =
+    ?(files_per_dir = 4) ?(workers = 4) ?(queue_depth = 64) ?tie_seed
+    ?(racecheck = false) () =
   let d =
     Deploy.make ~workers ~queue_depth ~seed ~cache_blocks:4096 ~readahead:8
-      ~cache_size:256 ()
+      ~cache_size:256 ?tie_seed ~racecheck ()
   in
   let sched = Option.get d.Deploy.sched in
   let clock = d.Deploy.clock in
@@ -147,6 +186,7 @@ let boot_storm ?(seed = "slo-storm") ?(clients = 200) ?(dirs = 4)
   let first_finish = ref infinity and last_finish = ref 0.0 in
   Array.iter
     (fun c ->
+      (* discfs-lint: allow races "each walker owns its client; the shared counters and min/max marks are read-modify-written inside one slice, never across a yield" *)
       Sched.spawn sched (fun () ->
           let nfs = Client.nfs c in
           let step f =
@@ -204,6 +244,8 @@ let boot_storm ?(seed = "slo-storm") ?(clients = 200) ?(dirs = 4)
     st_qpeak = Oncrpc.Rpc.queue_peak d.Deploy.rpc;
     st_rejects = get "rpc.queue_rejects";
     st_retrans = get "rpc.retransmits";
+    st_fingerprint = fs_fingerprint d.Deploy.fs;
+    st_races = race_total d;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -257,6 +299,8 @@ type churn_report = {
   ch_executed : int;
   ch_client_ids : (int * int) list;
   ch_final_active : int;
+  ch_fingerprint : string;
+  ch_races : int;
 }
 
 type member = {
@@ -273,12 +317,12 @@ type member = {
    re-home with {!Deploy.reattach}. Client-id allocation is
    per-incarnation, so the uniqueness law the tests pin is over
    (incarnation, id) pairs, recorded here in allocation order. *)
-let churn ?(spec = default_churn) () =
+let churn ?(spec = default_churn) ?tie_seed ?(racecheck = false) () =
   let s = spec in
   if s.cs_initial_clients < 1 then invalid_arg "churn: need a client";
   let d =
     Deploy.make ~workers:s.cs_workers ~queue_depth:s.cs_queue_depth
-      ~seed:s.cs_seed ()
+      ~seed:s.cs_seed ?tie_seed ~racecheck ()
   in
   let sched = Option.get d.Deploy.sched in
   let clock = d.Deploy.clock in
@@ -335,6 +379,7 @@ let churn ?(spec = default_churn) () =
   let horizon = times.(ops - 1) +. 7200.0 in
   gen.Gen.first_arrival <- base +. times.(0);
   let spawn_drain m =
+    (* discfs-lint: allow races "the drain is the sole consumer of its member's mailbox; detach only runs after the member left the active list" *)
     Sched.spawn sched (fun () ->
         let rec loop () =
           match Sched.Mailbox.take sched m.m_box ~timeout:horizon with
@@ -353,6 +398,7 @@ let churn ?(spec = default_churn) () =
   for i = 0 to ops - 1 do
     let ti = base +. times.(i) in
     ignore
+      (* discfs-lint: allow races "the membership list is read once in the arrival's own slice; routing to a just-left member is absorbed by its still-draining mailbox" *)
       (Sched.spawn_at sched ti (fun () ->
            match !active with
            | [] -> Gen.complete gen clock ~started:ti false
@@ -367,6 +413,7 @@ let churn ?(spec = default_churn) () =
     while !t < s.cs_duration do
       let at = base +. !t and j = !k in
       ignore
+        (* discfs-lint: allow races "the join counter bump and list append run in one slice after the attach's yields complete" *)
         (Sched.spawn_at sched at (fun () ->
              match
                try
@@ -389,6 +436,7 @@ let churn ?(spec = default_churn) () =
     while !t < s.cs_duration do
       let at = base +. !t in
       ignore
+        (* discfs-lint: allow races "pop-and-signal runs in one slice; the drained member keeps consuming its own mailbox until the stop token" *)
         (Sched.spawn_at sched at (fun () ->
              match !active with
              | m :: (_ :: _ as rest) ->
@@ -403,15 +451,18 @@ let churn ?(spec = default_churn) () =
   | None -> ()
   | Some t ->
     ignore
+      (* discfs-lint: allow races "the crash process is the only mutator of the deployment's incarnation fields; clients observe the swap only through RPC timeouts" *)
       (Sched.spawn_at sched (base +. t) (fun () -> Deploy.crash_and_restart d)));
   (* End of horizon: stop every member still active. Queued jobs sit
      ahead of the stop in each mailbox, so nothing offered is lost. *)
   ignore
+    (* discfs-lint: allow races "horizon stop: broadcast and list clear complete in one slice" *)
     (Sched.spawn_at sched (last_arrival +. 60.0) (fun () ->
          List.iter (fun m -> Sched.Mailbox.push sched m.m_box None) !active;
          active := []));
   let final_active = ref 0 in
   ignore
+    (* discfs-lint: allow races "single snapshot read one virtual second before the horizon stop" *)
     (Sched.spawn_at sched (last_arrival +. 59.0) (fun () ->
          final_active := List.length !active));
   Sched.run sched;
@@ -435,4 +486,6 @@ let churn ?(spec = default_churn) () =
     ch_executed = Metrics.count service;
     ch_client_ids = List.rev !ids;
     ch_final_active = !final_active;
+    ch_fingerprint = fs_fingerprint d.Deploy.fs;
+    ch_races = race_total d;
   }

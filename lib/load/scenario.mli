@@ -6,6 +6,15 @@
     long-horizon churn run with membership changes, a mid-run server
     crash and SA rekeys while load keeps arriving. *)
 
+val fs_fingerprint : Ffs.Fs.t -> string
+(** Logical end-state digest of a filesystem: SHA-1 over the sorted
+    directory tree — paths, kinds, sizes and per-file content hashes,
+    with inode numbers and block placement excluded. Two runs whose
+    operations commute end with equal fingerprints no matter how the
+    scheduler interleaved them; the schedule-exploration harness
+    ([bench race_explore] and the QCheck equivalence properties)
+    compares these across tie-seed perturbations. *)
+
 (** {1 Latency vs offered load} *)
 
 type sweep_point = {
@@ -55,6 +64,11 @@ type storm_report = {
   st_qpeak : int;
   st_rejects : int;
   st_retrans : int;
+  st_fingerprint : string;
+      (** logical end-state digest — tree shape, names, sizes and
+          content hashes of the server filesystem, independent of
+          inode and block numbering (see the race harness) *)
+  st_races : int;  (** race reports; always [0] unless [racecheck] *)
 }
 
 val boot_storm :
@@ -64,6 +78,8 @@ val boot_storm :
   ?files_per_dir:int ->
   ?workers:int ->
   ?queue_depth:int ->
+  ?tie_seed:int64 ->
+  ?racecheck:bool ->
   unit ->
   storm_report
 (** [clients] (default 200) walk the same read-only subtree
@@ -119,10 +135,18 @@ type churn_report = {
       (** every (incarnation, RPC client id) allocation, in order —
           the uniqueness law: no pair repeats. *)
   ch_final_active : int;  (** members still attached at the horizon *)
+  ch_fingerprint : string;
+      (** logical end-state digest of the final incarnation's
+          filesystem (same walk as [st_fingerprint]) *)
+  ch_races : int;  (** race reports; always [0] unless [racecheck] *)
 }
 
-val churn : ?spec:churn_spec -> unit -> churn_report
-(** Run the churn scenario.  Conservation laws on the report:
+val churn :
+  ?spec:churn_spec -> ?tie_seed:int64 -> ?racecheck:bool -> unit -> churn_report
+(** Run the churn scenario.  [tie_seed] perturbs the scheduler's
+    tie order and [racecheck] arms the happens-before checker, both
+    straight through to {!Discfs.Deploy.make}.
+    Conservation laws on the report:
     [offered = completed + failed], [hist_count = completed], and no
     (incarnation, client-id) pair repeats in [ch_client_ids].
     Deterministic: equal specs produce equal reports. *)

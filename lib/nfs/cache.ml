@@ -1,3 +1,7 @@
+(* discfs-lint: atomic-section — hit/miss bookkeeping completes inside one
+   slice; the miss windows spanning an RPC round trip are instrumented for
+   the dynamic checker (set_race). *)
+
 module Clock = Simnet.Clock
 
 type entry_key = int * int (* ino, gen *)
@@ -13,6 +17,7 @@ type t = {
   mutable misses : int;
   mutable expiries : int;
   mutable trace : Trace.t;
+  mutable race : Race.monitor;
 }
 
 let create ~client ~clock ?(attr_ttl = 3.0) ?(name_ttl = 30.0) () =
@@ -27,9 +32,11 @@ let create ~client ~clock ?(attr_ttl = 3.0) ?(name_ttl = 30.0) () =
     misses = 0;
     expiries = 0;
     trace = Trace.null;
+    race = Race.null;
   }
 
 let set_trace t trace = t.trace <- trace
+let set_race t m = t.race <- m
 
 let metric t name =
   match Trace.metrics t.trace with
@@ -37,6 +44,16 @@ let metric t name =
   | None -> ()
 
 let key (fh : Proto.fh) = (fh.Proto.ino, fh.Proto.gen)
+
+(* Race-monitor key renderings: the attr and name tables share one
+   monitor, disambiguated by prefix. *)
+let akey (ino, gen) = Printf.sprintf "a:%d.%d" ino gen
+let nkey ((ino, gen), name) = Printf.sprintf "n:%d.%d/%s" ino gen name
+
+let attr_value attr =
+  let e = Xdr.Enc.create () in
+  Proto.fattr_encode e attr;
+  Xdr.Enc.to_string e
 
 let fresh t expiry = Clock.now t.clock < expiry
 
@@ -59,15 +76,20 @@ let miss t ~kind ~expired =
   end
 
 let store_attr t fh attr =
+  Race.act t.race ~value:(attr_value attr) ~key:(akey (key fh)) ();
   Hashtbl.replace t.attrs (key fh) (attr, Clock.now t.clock +. t.attr_ttl)
 
 let getattr t fh =
   match Hashtbl.find_opt t.attrs (key fh) with
   | Some (attr, expiry) when fresh t expiry ->
     hit t ~kind:"attr";
+    Race.read t.race ~key:(akey (key fh));
     attr
   | found ->
     miss t ~kind:"attr" ~expired:(found <> None);
+    (* The GETATTR round trip yields; the window closes when
+       [store_attr] installs the reply. *)
+    Race.check t.race ~key:(akey (key fh));
     let attr = Client.getattr t.client fh in
     store_attr t fh attr;
     attr
@@ -76,10 +98,15 @@ let lookup t dir name =
   match Hashtbl.find_opt t.names (key dir, name) with
   | Some (result, expiry) when fresh t expiry ->
     hit t ~kind:"name";
+    Race.read t.race ~key:(nkey (key dir, name));
     result
   | found ->
     miss t ~kind:"name" ~expired:(found <> None);
+    Race.check t.race ~key:(nkey (key dir, name));
     let fh, attr = Client.lookup t.client dir name in
+    Race.act t.race
+      ~value:(Printf.sprintf "%d.%d" fh.Proto.ino fh.Proto.gen)
+      ~key:(nkey (key dir, name)) ();
     Hashtbl.replace t.names ((key dir, name)) ((fh, attr), Clock.now t.clock +. t.name_ttl);
     store_attr t fh attr;
     (fh, attr)
@@ -95,6 +122,7 @@ let write t fh ~off data =
   attr
 
 let invalidate t fh =
+  Race.write t.race ~key:(akey (key fh)) ();
   Hashtbl.remove t.attrs (key fh);
   (* Drop any name entries resolving to this handle. *)
   let doomed =
@@ -102,16 +130,23 @@ let invalidate t fh =
       (fun k ((target, _), _) acc -> if key target = key fh then k :: acc else acc)
       t.names []
   in
-  List.iter (Hashtbl.remove t.names) doomed
+  List.iter
+    (fun k ->
+      Race.write t.race ~key:(nkey k) ();
+      Hashtbl.remove t.names k)
+    doomed
 
 let remove t dir name =
   Client.remove t.client dir name;
+  Race.write t.race ~key:(nkey (key dir, name)) ();
+  Race.write t.race ~key:(akey (key dir)) ();
   Hashtbl.remove t.names (key dir, name);
   Hashtbl.remove t.attrs (key dir)
 
 let invalidate_all t =
   Hashtbl.reset t.attrs;
-  Hashtbl.reset t.names
+  Hashtbl.reset t.names;
+  Race.wipe t.race
 
 let hits t = t.hits
 let misses t = t.misses

@@ -29,6 +29,11 @@ val set_trace : t -> Trace.t -> unit
     metrics counters (default {!Trace.null}: instrumentation is
     free). *)
 
+val set_race : t -> Race.monitor -> unit
+(** Attach a race monitor (default {!Race.null}): misses open
+    check-then-act windows spanning the RPC round trip, closed when
+    the reply is installed; invalidations are writes. *)
+
 val getattr : t -> Proto.fh -> Proto.fattr
 (** Served from cache while fresh; otherwise one GETATTR round trip
     refills the entry. *)

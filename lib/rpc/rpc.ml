@@ -1,3 +1,8 @@
+(* discfs-lint: atomic-section — queue admission (decode, DRC probe,
+   in-flight probe, enqueue) and worker completion (DRC install, in-flight
+   retirement, reply spawn) each run without an intervening yield, and both
+   delicate windows are instrumented for the dynamic checker (set_race). *)
+
 module Clock = Simnet.Clock
 module Cost = Simnet.Cost
 module Stats = Simnet.Stats
@@ -43,6 +48,7 @@ type job = {
   job_args : string;
   job_len : int; (* raw datagram bytes, for the unmarshal CPU charge *)
   job_enqueued : float;
+  job_origin : (int * int) option; (* (pid, epoch) of the admission DRC check *)
   job_reply : string -> unit;
 }
 
@@ -86,6 +92,8 @@ type server = {
      byte-reproducible benchmarks. *)
   mutable next_client : int;
   mutable dead : bool;
+  mutable race_drc : Race.monitor;
+  mutable race_if : Race.monitor;
 }
 
 let server ~clock ~cost ~stats =
@@ -103,6 +111,8 @@ let server ~clock ~cost ~stats =
     pool = None;
     next_client = 0;
     dead = false;
+    race_drc = Race.null;
+    race_if = Race.null;
   }
 
 let register t ~prog ~vers handler = Hashtbl.replace t.programs (prog, vers) handler
@@ -110,6 +120,12 @@ let register t ~prog ~vers handler = Hashtbl.replace t.programs (prog, vers) han
 let trace t = t.trace
 let set_trace t trace = t.trace <- trace
 let set_metrics t metrics = t.metrics <- metrics
+
+let set_race t ~drc ~in_flight =
+  t.race_drc <- drc;
+  t.race_if <- in_flight
+
+let race_key (peer, xid, proc) = Printf.sprintf "%s/%d/%d" peer xid proc
 
 let set_pool t ~sched ~workers ~queue_depth =
   if workers <= 0 then invalid_arg "Rpc.set_pool: non-positive workers";
@@ -447,12 +463,15 @@ let rec worker_loop srv p =
       (* crashed while this job sat in the queue: it dies with the
          server; the client's retransmissions go to the successor *)
       Stats.incr srv.stats "rpc.dropped_dead";
+      Race.write srv.race_if ~key:(race_key job.job_key) ();
       Hashtbl.remove p.in_flight job.job_key;
       worker_loop srv p
     end
     else begin
       let started = Clock.now srv.clock in
       observe_metric srv "rpc.queue.wait" (started -. job.job_enqueued);
+      Race.note srv.race_drc
+        (Printf.sprintf "rpc.serve proc=%d peer=%s" job.job_proc job.job_conn.peer);
       unmarshal_charge srv job.job_len;
       let outcome =
         match Hashtbl.find_opt srv.programs (job.job_prog, job.job_vers) with
@@ -467,15 +486,23 @@ let rec worker_loop srv p =
       if srv.dead then begin
         (* crashed mid-service: the result vanishes with the process *)
         Stats.incr srv.stats "rpc.dropped_dead";
+        Race.write srv.race_if ~key:(race_key job.job_key) ();
         Hashtbl.remove p.in_flight job.job_key
       end
       else begin
+        (* The act closing the admission slice's DRC-miss check: a
+           second execution of the same key would cross this write
+           and be reported (benign only if its reply is identical —
+           i.e. the call was idempotent after all). *)
+        Race.act srv.race_drc ?window:job.job_origin ~value:reply
+          ~key:(race_key job.job_key) ();
         drc_put srv job.job_key reply;
         let waiters =
           match Hashtbl.find_opt p.in_flight job.job_key with
           | Some w -> List.rev !w
           | None -> []
         in
+        Race.write srv.race_if ~key:(race_key job.job_key) ();
         Hashtbl.remove p.in_flight job.job_key;
         job.job_reply reply;
         List.iter (fun notify -> notify reply) waiters
@@ -501,6 +528,7 @@ let submit srv p ~conn ~reply data =
       let e = Hashtbl.find srv.drc key in
       Stats.incr srv.stats "rpc.drc_hits";
       Trace.instant srv.trace "rpc.drc_hit";
+      Race.read srv.race_drc ~key:(race_key key);
       drc_touch srv key e;
       let cached = e.reply in
       spawn_reply srv p (String.length data) (fun () -> reply cached)
@@ -509,9 +537,14 @@ let submit srv p ~conn ~reply data =
       match Hashtbl.find_opt p.in_flight key with
       | Some waiters ->
         (* a retransmission of a request that is queued or executing
-           right now: piggyback on that execution's reply *)
+           right now: piggyback on that execution's reply. Check and
+           act land in the same slice — the worker's removal write
+           can never fall inside this window, which is exactly the
+           atomicity the golden race report pins. *)
+        Race.check srv.race_if ~key:(race_key key);
         Stats.incr srv.stats "rpc.coalesced";
         count_metric srv "rpc.queue.coalesced";
+        Race.act srv.race_if ~key:(race_key key) ();
         waiters := reply :: !waiters
       | None ->
         if p.queued >= p.queue_depth then begin
@@ -520,6 +553,12 @@ let submit srv p ~conn ~reply data =
           Trace.instant srv.trace "rpc.queue_reject"
         end
         else begin
+          (* DRC-miss + not-in-flight: this slice decides to execute.
+             The matching act happens in whichever worker completes
+             the job — hand it this check's (pid, epoch). *)
+          Race.check srv.race_drc ~key:(race_key key);
+          Race.check srv.race_if ~key:(race_key key);
+          Race.act srv.race_if ~key:(race_key key) ();
           Hashtbl.replace p.in_flight key (ref []);
           enqueue p
             {
@@ -533,6 +572,7 @@ let submit srv p ~conn ~reply data =
               job_args = args;
               job_len = String.length data;
               job_enqueued = Clock.now srv.clock;
+              job_origin = Race.origin srv.race_drc;
               job_reply = reply;
             };
           pool_gauge srv p;
@@ -662,6 +702,7 @@ let call_pooled t p ~prog ~vers ~proc args =
   let sched = p.sched in
   let clock = Link.clock t.link in
   let stats = Link.stats t.link in
+  Race.note t.srv.race_drc (Printf.sprintf "rpc.call proc=%d client=%d" proc t.id);
   t.before_call ();
   let xid = next_xid t in
   let request = encode_call ~xid ~prog ~vers ~proc ~uid:t.conn.uid args in

@@ -57,6 +57,16 @@ val set_metrics : server -> Trace.Metrics.t option -> unit
     stack assumes strictly nested enter/exit, which interleaved
     processes violate. *)
 
+val set_race : server -> drc:Race.monitor -> in_flight:Race.monitor -> unit
+(** Attach race monitors (default {!Race.null}) to the two delicate
+    server-side windows: the duplicate-request cache — an admission
+    slice's DRC-miss check is closed by the completing worker's act,
+    so a double execution of one key is reported (benign only when
+    the replies are byte-identical) — and the in-flight coalescing
+    map, whose check/act pairs are slice-atomic by construction.
+    Only the pooled (concurrent) path is monitored; serial dispatch
+    has no interleaving to check. *)
+
 val set_pool : server -> sched:Simnet.Sched.t -> workers:int -> queue_depth:int -> unit
 (** Give the server a bounded request queue and a worker pool.
     {!call}s issued from inside a scheduler process are then admitted

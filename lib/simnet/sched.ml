@@ -13,11 +13,18 @@
    sequence number — and there is no wall-clock input and no
    unordered container iteration anywhere in the loop, so a given
    program produces one event order, always. The lint pass holds the
-   module to that: discfs-lint: require strict-determinism *)
+   module to that: discfs-lint: require strict-determinism
+
+   Tie perturbation: with a seed installed, same-timestamp events are
+   ordered by a splitmix64 hash of (seed, seq) before the seq
+   tie-break — a different but equally total and reproducible order
+   per seed. The race-exploration harness uses this to shake out
+   interleaving bugs hiding behind the default allocation order. *)
 
 type event = {
   time : float;
   seq : int;
+  tie : int64; (* 0L unless a tie seed is installed at schedule time *)
   mutable cancelled : bool;
   thunk : unit -> unit;
 }
@@ -27,19 +34,37 @@ type t = {
   mutable heap : event array;
   mutable size : int;
   mutable next_seq : int;
+  mutable next_pid : int;
+  mutable current_pid : int; (* 0 = not inside a spawned process *)
   mutable in_process : bool;
   mutable running : bool;
   mutable events_run : int;
+  mutable tie_seed : int64 option;
   mutable probe : (float -> int -> unit) option;
 }
 
 type handle = event
 
-(* --- binary heap keyed (time, seq) ---------------------------------- *)
+(* --- binary heap keyed (time, tie, seq) ------------------------------ *)
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b =
+  a.time < b.time
+  || (a.time = b.time
+     && (a.tie < b.tie || (a.tie = b.tie && a.seq < b.seq)))
 
-let dummy = { time = 0.0; seq = -1; cancelled = true; thunk = ignore }
+(* splitmix64 finalizer: decorrelates consecutive seq values into
+   independent 64-bit tie keys. Pure int64 arithmetic, no state. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let tie_of t seq =
+  match t.tie_seed with
+  | None -> 0L
+  | Some seed -> mix64 (Int64.add seed (Int64.mul (Int64.of_int seq) 0x9e3779b97f4a7c15L))
+
+let dummy = { time = 0.0; seq = -1; tie = 0L; cancelled = true; thunk = ignore }
 
 let create ~clock =
   {
@@ -47,11 +72,17 @@ let create ~clock =
     heap = Array.make 64 dummy;
     size = 0;
     next_seq = 0;
+    next_pid = 0;
+    current_pid = 0;
     in_process = false;
     running = false;
     events_run = 0;
+    tie_seed = None;
     probe = None;
   }
+
+let set_tie_seed t seed = t.tie_seed <- seed
+let tie_seed t = t.tie_seed
 
 let grow t =
   let bigger = Array.make (2 * Array.length t.heap) dummy in
@@ -100,7 +131,8 @@ let pop t =
 let schedule_at t time thunk =
   if time < Clock.now t.clock then
     invalid_arg "Sched.schedule_at: time in the past";
-  let ev = { time; seq = t.next_seq; cancelled = false; thunk } in
+  let seq = t.next_seq in
+  let ev = { time; seq; tie = tie_of t seq; cancelled = false; thunk } in
   t.next_seq <- t.next_seq + 1;
   push t ev;
   ev
@@ -112,6 +144,7 @@ let schedule_after t dt thunk =
 let cancel ev = ev.cancelled <- true
 let clock t = t.clock
 let in_process t = t.in_process
+let current_pid t = t.current_pid
 let events_run t = t.events_run
 let pending t = t.size
 let set_probe t probe = t.probe <- probe
@@ -120,7 +153,18 @@ let set_probe t probe = t.probe <- probe
 
 type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 
-let handler =
+(* Each spawned process carries a stable pid across suspensions: the
+   initial entry and every resume closure set [current_pid] for the
+   duration of the slice, restoring the previous value on exit (so
+   nested resumes — a process resuming another in-line — unwind
+   correctly). pid 0 means "not a spawned process" (setup code, bare
+   scheduled thunks). *)
+let with_pid t pid f =
+  let saved = t.current_pid in
+  t.current_pid <- pid;
+  Fun.protect ~finally:(fun () -> t.current_pid <- saved) f
+
+let process_handler t pid =
   {
     Effect.Deep.retc = (fun () -> ());
     exnc = (fun e -> raise e);
@@ -130,12 +174,15 @@ let handler =
         | Suspend register ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
-                register (fun v -> Effect.Deep.continue k v))
+                register (fun v -> with_pid t pid (fun () -> Effect.Deep.continue k v)))
         | _ -> None);
   }
 
 let spawn_at t time f =
-  schedule_at t time (fun () -> Effect.Deep.match_with f () handler)
+  let pid = t.next_pid + 1 in
+  t.next_pid <- pid;
+  schedule_at t time (fun () ->
+      with_pid t pid (fun () -> Effect.Deep.match_with f () (process_handler t pid)))
 
 let spawn_after t dt f =
   if dt < 0.0 then invalid_arg "Sched.spawn_after: negative dt";

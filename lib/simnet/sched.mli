@@ -83,6 +83,23 @@ val in_process : t -> bool
     by layers that behave differently in-line vs. in-process (e.g.
     [Rpc.call] picks the queued path only in-process). *)
 
+val current_pid : t -> int
+(** The pid of the spawned process whose slice is executing, or [0]
+    outside any process (setup code, bare scheduled thunks). Pids are
+    allocated at spawn, 1-based, and survive suspension — the race
+    checker uses them to attribute accesses to processes. *)
+
+val set_tie_seed : t -> int64 option -> unit
+(** Install (or clear) a schedule-perturbation seed. While set, every
+    event scheduled gets a splitmix64 tie key hashed from
+    [(seed, seq)], and same-timestamp events run in tie-key order
+    instead of allocation order. Deterministic per seed; [None]
+    (the default) preserves the classic [(time, seq)] order exactly.
+    Affects only events scheduled while the seed is installed. *)
+
+val tie_seed : t -> int64 option
+(** The currently installed perturbation seed, if any. *)
+
 val pending : t -> int
 (** Events currently in the heap (including cancelled ones not yet
     popped). *)

@@ -1,3 +1,6 @@
+(* discfs-lint: atomic-section — every counter update is a read-modify-write
+   completed inside one scheduler slice; no operation yields. *)
+
 type t = (string, int) Hashtbl.t
 
 let create () : t = Hashtbl.create 16

@@ -1,3 +1,6 @@
+(* discfs-lint: atomic-section — counter/gauge/histogram updates complete
+   inside one scheduler slice; no operation yields. *)
+
 type histogram = {
   h_bounds : float array; (* strictly increasing upper bounds *)
   h_counts : int array; (* length = Array.length h_bounds + 1 *)

@@ -1,3 +1,7 @@
+(* discfs-lint: atomic-section — span-stack mutation never spans a yield: the
+   pooled (interleaved) paths record metrics only and open no spans, so the
+   strictly nested enter/exit discipline holds per slice. *)
+
 module Metrics = Metrics
 
 type span = {
@@ -133,6 +137,8 @@ let instant t ?attrs name =
   end
 
 let depth t = List.length t.stack
+
+let current t = match t.stack with f :: _ -> Some f.f_name | [] -> None
 
 let spans t =
   let cap = Array.length t.ring in

@@ -57,6 +57,11 @@ val end_span : t -> int -> unit
 val depth : t -> int
 (** Number of currently-open spans. *)
 
+val current : t -> string option
+(** Name of the innermost open span, if any — the cheap "where am I"
+    probe the race checker stamps on accesses when no explicit
+    process label was noted. *)
+
 val spans : t -> span list
 (** Retained completed spans, in completion order (oldest first). *)
 

@@ -1,0 +1,20 @@
+(* Races-pass seed: the clean case. The only shared value crossing
+   into the processes is a Sched.Mailbox.t — the blessed channel — so
+   the inventory carries mailbox-mediated entries and no violation. *)
+
+module Clock = Simnet.Clock
+module Sched = Simnet.Sched
+
+let run () =
+  let clock = Clock.create () in
+  let s = Sched.create ~clock in
+  Sched.attach_clock s;
+  let mb = Sched.Mailbox.create () in
+  Sched.spawn s (fun () ->
+      Sched.sleep s 1.0;
+      Sched.Mailbox.push s mb 41);
+  Sched.spawn s (fun () ->
+      match Sched.Mailbox.take s mb ~timeout:5.0 with
+      | Some v -> ignore (v + 1)
+      | None -> ());
+  Sched.run s

@@ -1,0 +1,22 @@
+(* Races-pass seed: a record with a mutable field reaching the
+   scheduler through one level of call indirection — the process body
+   is a named local function, not a literal closure at the spawn
+   site. *)
+
+module Clock = Simnet.Clock
+module Sched = Simnet.Sched
+
+type cursor = { mutable pos : int }
+
+let run () =
+  let clock = Clock.create () in
+  let s = Sched.create ~clock in
+  Sched.attach_clock s;
+  let c = { pos = 0 } in
+  let body () =
+    Sched.sleep s 1.0;
+    c.pos <- c.pos + 1
+  in
+  Sched.spawn s body;
+  Sched.run s;
+  c.pos

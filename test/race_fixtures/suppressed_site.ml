@@ -1,0 +1,18 @@
+(* Races-pass seed: per-site suppression. The first spawn carries a
+   justification string and is clean; the second carries the marker
+   with no justification, which is itself a finding. *)
+
+module Clock = Simnet.Clock
+module Sched = Simnet.Sched
+
+let run () =
+  let clock = Clock.create () in
+  let s = Sched.create ~clock in
+  Sched.attach_clock s;
+  let total = ref 0 in
+  (* discfs-lint: allow races "only this process increments; the fixture reads the total after Sched.run returns" *)
+  Sched.spawn s (fun () -> incr total);
+  (* discfs-lint: allow races *)
+  Sched.spawn s (fun () -> incr total);
+  Sched.run s;
+  !total

@@ -115,6 +115,86 @@ let test_mli_coverage () =
   Alcotest.(check (list string)) "missing interface flagged" [ "mli-coverage" ]
     (rule_names fs)
 
+(* --- Pass D: spawn-capture escape analysis over the race fixtures ----- *)
+
+let race_fixture name =
+  "race_fixtures/.race_fixtures.objs/byte/race_fixtures__" ^ name ^ ".cmt"
+
+(* One scan over all four fixture modules; each test slices out its
+   own file. Lazy so a broken build tree fails the tests, not module
+   init. *)
+let race_entries =
+  lazy
+    (let entries, errors =
+       Lint.Races.scan ~source_root:".."
+         (List.map race_fixture
+            [ "Racy_ref"; "Racy_indirect"; "Suppressed_site"; "Clean_mailbox" ])
+     in
+     List.iter (fun e -> Alcotest.failf "races scan: %s" e) errors;
+     entries)
+
+let race_file name =
+  let file = "test/race_fixtures/" ^ name ^ ".ml" in
+  List.filter (fun e -> e.Lint.Races.e_file = file) (Lazy.force race_entries)
+
+let violations es = List.filter Lint.Races.is_violation es
+
+let test_races_escaping_ref () =
+  let es = race_file "racy_ref" in
+  Alcotest.(check int) "both spawn sites flagged" 2 (List.length (violations es));
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "the ref is named" "counter" e.Lint.Races.e_value;
+      Alcotest.(check string) "classified as a ref" "ref" e.Lint.Races.e_kind)
+    es;
+  Alcotest.(check (list string)) "both entry points recognized"
+    [ "Sched.spawn"; "Sched.spawn_after" ]
+    (List.sort String.compare (List.map (fun e -> e.Lint.Races.e_spawn) es))
+
+let test_races_indirect () =
+  match race_file "racy_indirect" with
+  | [ e ] ->
+    Alcotest.(check bool) "violation through one call indirection" true
+      (Lint.Races.is_violation e);
+    Alcotest.(check string) "the record is named" "c" e.Lint.Races.e_value;
+    Alcotest.(check string) "classified as a mutable record"
+      "mutable record cursor" e.Lint.Races.e_kind
+  | es -> Alcotest.failf "expected exactly the record capture, got %d" (List.length es)
+
+let test_races_suppression () =
+  let es = race_file "suppressed_site" in
+  Alcotest.(check int) "both captures inventoried" 2 (List.length es);
+  (match List.filter (fun e -> not (Lint.Races.is_violation e)) es with
+  | [ { Lint.Races.e_status = Lint.Races.Suppressed why; _ } ] ->
+    Alcotest.(check bool) "justification string carried" true
+      (String.length why > 0)
+  | _ -> Alcotest.fail "expected one justified suppression");
+  match violations es with
+  | [ { Lint.Races.e_status = Lint.Races.Missing_justification; _ } ] -> ()
+  | _ -> Alcotest.fail "bare 'allow races' must itself be a finding"
+
+let test_races_mailbox_clean () =
+  let es = race_file "clean_mailbox" in
+  Alcotest.(check int) "no violations" 0 (List.length (violations es));
+  Alcotest.(check bool) "mailbox captures still inventoried" true
+    (List.length es >= 2
+    && List.for_all
+         (fun e -> e.Lint.Races.e_status = Lint.Races.Mailbox_mediated)
+         es)
+
+let test_races_json () =
+  let json = Lint.Races.json_of_entries (Lazy.force race_entries) in
+  let contains sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "json carries %s" sub) true (go 0)
+  in
+  contains "\"pass\":\"races\"";
+  contains "\"violations\":4";
+  contains "\"status\":\"mailbox-mediated\"";
+  contains "\"status\":\"missing-justification\"";
+  contains "\"justification\":"
+
 (* --- Pass B: credential-graph analysis -------------------------------- *)
 
 let p name = "dsa-hex:" ^ name
@@ -361,6 +441,11 @@ let suite =
     ("pass-b: bad signature", `Quick, test_graph_bad_signature);
     ("pass-b: on-disk store", `Quick, test_store_roundtrip);
     ("pass-b: store parse error", `Quick, test_store_parse_error);
+    ("pass-d: escaping ref", `Quick, test_races_escaping_ref);
+    ("pass-d: mutable field via indirection", `Quick, test_races_indirect);
+    ("pass-d: per-site suppression", `Quick, test_races_suppression);
+    ("pass-d: mailbox-mediated clean", `Quick, test_races_mailbox_clean);
+    ("pass-d: json inventory", `Quick, test_races_json);
     ("pass-c: library map discovery", `Quick, test_doccheck_libmap);
     ("pass-c: seeded doc findings", `Quick, test_doccheck_bad);
     ("pass-c: clean fixture and real docs", `Quick, test_doccheck_clean);

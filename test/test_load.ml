@@ -64,6 +64,7 @@ let test_drive_deterministic_across_scheds () =
     let s = Sched.create ~clock in
     Sched.attach_clock s;
     let seen = ref [] in
+    (* discfs-lint: allow races "arrival callbacks run one per slice; the list is read only after Sched.run returns" *)
     Arrival.drive
       (Arrival.create ~seed:"drive-det" (Arrival.Poisson { rate = 50.0 }))
       ~sched:s ~n:100

@@ -25,4 +25,5 @@ let () =
       ("slo", Test_load.suite);
       ("bonnie", Test_bonnie.suite);
       ("topo", Test_topo.suite);
+      ("race", Test_race.suite);
     ]
