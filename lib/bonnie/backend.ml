@@ -16,6 +16,7 @@ type t = {
   create : handle -> string -> handle;
   write : handle -> off:int -> string -> unit;
   read : handle -> off:int -> len:int -> string;
+  read_whole : handle -> string;
   readdir : handle -> string list;
   lookup : handle -> string -> handle;
   remove : handle -> string -> unit;
@@ -27,6 +28,21 @@ let to_ino = function Ino i -> i | Fh fh -> fh.Proto.ino
 
 let strip_dots names = List.filter (fun n -> n <> "." && n <> "..") names
 
+(* Page-at-a-time whole-file read: the fallback for backends without
+   a batched read procedure (local FFS and plain NFS, which is
+   NFSv2-shaped and has no compounds). *)
+let chunked_read_whole read h =
+  let buf = Buffer.create 8192 in
+  let rec go off =
+    let data = read h ~off ~len:8192 in
+    if data <> "" then begin
+      Buffer.add_string buf data;
+      if String.length data = 8192 then go (off + 8192)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
 (* --- local FFS ------------------------------------------------------ *)
 
 let ffs_local ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) () =
@@ -36,6 +52,10 @@ let ffs_local ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) () =
   let dev = Ffs.Blockdev.create ~clock ~cost ~stats ~nblocks ~block_size () in
   let fs = Ffs.Fs.create ~dev ~ninodes in
   let syscall () = Clock.advance clock cost.Cost.syscall in
+  let read h ~off ~len =
+    syscall ();
+    Ffs.Fs.read fs (to_ino h) ~off ~len
+  in
   {
     label = "FFS";
     clock;
@@ -55,10 +75,8 @@ let ffs_local ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) () =
       (fun h ~off data ->
         syscall ();
         Ffs.Fs.write fs (to_ino h) ~off data);
-    read =
-      (fun h ~off ~len ->
-        syscall ();
-        Ffs.Fs.read fs (to_ino h) ~off ~len);
+    read;
+    read_whole = chunked_read_whole read;
     readdir =
       (fun h ->
         syscall ();
@@ -81,6 +99,10 @@ let remote_ops ~label ~clock ~stats ~cost ~fs ~(nfs : Nfs.Client.t) ~root =
     | Fh fh -> fh
     | Ino ino -> { Proto.ino; gen = Ffs.Fs.generation fs ino }
   in
+  let read h ~off ~len =
+    syscall ();
+    snd (Nfs.Client.read nfs (to_fh h) ~off ~count:len)
+  in
   {
     label;
     clock;
@@ -102,10 +124,8 @@ let remote_ops ~label ~clock ~stats ~cost ~fs ~(nfs : Nfs.Client.t) ~root =
       (fun h ~off data ->
         syscall ();
         ignore (Nfs.Client.write nfs (to_fh h) ~off data));
-    read =
-      (fun h ~off ~len ->
-        syscall ();
-        snd (Nfs.Client.read nfs (to_fh h) ~off ~count:len));
+    read;
+    read_whole = chunked_read_whole read;
     readdir =
       (fun h ->
         syscall ();
@@ -137,7 +157,7 @@ let deployments : (Clock.t * Discfs.Deploy.t) list ref = ref []
 let attr_caches : (Clock.t * Nfs.Cache.t) list ref = ref []
 
 let discfs ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) ?(cache_size = 128)
-    ?cache_blocks ?readahead ?(attr_cache = false) ?attr_ttl ?name_ttl
+    ?cache_blocks ?readahead ?(attr_cache = false) ?attr_ttl ?name_ttl ?(compound = true)
     ?cipher ?fault ?retry ?tracing () =
   let d =
     Discfs.Deploy.make ~nblocks ~block_size ~ninodes ~cache_size ?cache_blocks ?readahead
@@ -176,26 +196,51 @@ let discfs ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192) ?(cache_siz
       | Fh fh -> fh
       | Ino ino -> { Proto.ino; gen = Ffs.Fs.generation fs ino }
     in
-    {
-      ops with
-      lookup =
-        (fun dir name ->
-          syscall ();
-          let fh, _ = Nfs.Cache.lookup cache (to_fh ops.fs dir) name in
-          Fh fh);
-      read =
-        (fun h ~off ~len ->
-          syscall ();
-          snd (Nfs.Cache.read cache (to_fh ops.fs h) ~off ~count:len));
-      write =
-        (fun h ~off data ->
-          syscall ();
-          ignore (Nfs.Cache.write cache (to_fh ops.fs h) ~off data));
-      remove =
-        (fun dir name ->
-          syscall ();
-          Nfs.Cache.remove cache (to_fh ops.fs dir) name);
-    }
+    let read h ~off ~len =
+      syscall ();
+      snd (Nfs.Cache.read cache (to_fh ops.fs h) ~off ~count:len)
+    in
+    let cached =
+      {
+        ops with
+        lookup =
+          (fun dir name ->
+            syscall ();
+            let fh, _ = Nfs.Cache.lookup cache (to_fh ops.fs dir) name in
+            Fh fh);
+        read;
+        read_whole = chunked_read_whole read;
+        write =
+          (fun h ~off data ->
+            syscall ();
+            ignore (Nfs.Cache.write cache (to_fh ops.fs h) ~off data));
+        remove =
+          (fun dir name ->
+            syscall ();
+            Nfs.Cache.remove cache (to_fh ops.fs dir) name);
+      }
+    in
+    if not compound then cached
+    else
+      {
+        cached with
+        readdir =
+          (fun h ->
+            (* READDIRPLUS: the one listing round trip also prefetches
+               the name and attribute caches, so the lookups and
+               getattrs a walk issues right after are hits. *)
+            syscall ();
+            strip_dots
+              (List.map (fun de -> de.Proto.p_name)
+                 (Nfs.Cache.readdirplus cache (to_fh ops.fs h))));
+        read_whole =
+          (fun h ->
+            (* Size from the attribute cache, data as MULTI_READ
+               batches: one credential check and one seal per
+               [Proto.max_read_segments] pages. *)
+            syscall ();
+            Nfs.Cache.read_whole cache (to_fh ops.fs h));
+      }
   end
 
 (* --- DisCFS cluster --------------------------------------------------- *)
@@ -232,6 +277,10 @@ let discfs_cluster ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192)
     | Fh fh -> fh
     | Ino ino -> { Proto.ino; gen = Ffs.Fs.generation fs ino }
   in
+  let read h ~off ~len =
+    syscall ();
+    snd (Discfs.Cluster_client.read cc (to_fh h) ~off ~count:len)
+  in
   {
     label = Printf.sprintf "DisCFS-%dsrv" servers;
     clock;
@@ -253,10 +302,31 @@ let discfs_cluster ?(nblocks = 16384) ?(block_size = 8192) ?(ninodes = 8192)
       (fun h ~off data ->
         syscall ();
         ignore (Discfs.Cluster_client.write cc (to_fh h) ~off data));
-    read =
-      (fun h ~off ~len ->
+    read;
+    read_whole =
+      (fun h ->
+        (* First page by plain READ (its reply carries the size), the
+           rest as MULTI_READ batches — both routed by the handle's
+           shard, so redirects still correct a stale map mid-file. *)
         syscall ();
-        snd (Discfs.Cluster_client.read cc (to_fh h) ~off ~count:len));
+        let fh = to_fh h in
+        let attr, first = Discfs.Cluster_client.read cc fh ~off:0 ~count:8192 in
+        let size = attr.Proto.size in
+        if size <= 8192 then first
+        else begin
+          let buf = Buffer.create size in
+          Buffer.add_string buf first;
+          let off = ref 8192 in
+          while !off < size do
+            let pages = (size - !off + 8191) / 8192 in
+            let n = min Proto.max_read_segments pages in
+            let segs = List.init n (fun i -> (!off + (i * 8192), 8192)) in
+            let _, datas = Discfs.Cluster_client.multi_read cc fh segs in
+            List.iter (Buffer.add_string buf) datas;
+            off := !off + (n * 8192)
+          done;
+          Buffer.contents buf
+        end);
     readdir =
       (fun h ->
         syscall ();

@@ -17,6 +17,10 @@ type t = {
   create : handle -> string -> handle;
   write : handle -> off:int -> string -> unit;
   read : handle -> off:int -> len:int -> string; (** short read at EOF *)
+  read_whole : handle -> string;
+      (** Whole-file read. Backends with a batched read procedure
+          (DisCFS with [attr_cache], the cluster) transfer the file as
+          MULTI_READ compounds; the rest loop page-sized {!read}s. *)
   readdir : handle -> string list; (** without ["."] and [".."] *)
   lookup : handle -> string -> handle;
   remove : handle -> string -> unit;
@@ -44,6 +48,7 @@ val discfs :
   ?attr_cache:bool ->
   ?attr_ttl:float ->
   ?name_ttl:float ->
+  ?compound:bool ->
   ?cipher:Ipsec.Sa.cipher ->
   ?fault:Simnet.Fault.t ->
   ?retry:Oncrpc.Rpc.retry ->
@@ -60,7 +65,12 @@ val discfs :
     {!Discfs.Deploy.make}). [attr_cache] (default off) routes lookup
     / read / write / remove through a client-side {!Nfs.Cache} with
     the given TTLs — repeated lookups within [name_ttl] then skip the
-    wire entirely. [fault] makes the link and disk lossy (see
+    wire entirely. With [compound] (default on, only meaningful under
+    [attr_cache]) listings go over READDIRPLUS — one round trip that
+    also prefetches both caches — and [read_whole] over batched
+    MULTI_READ; [compound:false] keeps the per-op NFSv2 pipeline, the
+    A/B the latency-breakdown bench measures. [fault] makes the link
+    and disk lossy (see
     {!Simnet.Fault}); [retry] tunes the at-least-once RPC
     retransmission profile; [tracing] turns on the per-layer
     span/metrics instrumentation (see {!Discfs.Deploy.make}). *)

@@ -72,18 +72,6 @@ let wc (b : Backend.t) data =
     data;
   (!lines, !words, String.length data)
 
-let read_whole (b : Backend.t) h =
-  let buf = Buffer.create 8192 in
-  let rec go off =
-    let data = b.Backend.read h ~off ~len:8192 in
-    if data <> "" then begin
-      Buffer.add_string buf data;
-      if String.length data = 8192 then go (off + 8192)
-    end
-  in
-  go 0;
-  Buffer.contents buf
-
 let run (b : Backend.t) =
   let totals = ref { files = 0; lines = 0; words = 0; bytes = 0 } in
   let start = Clock.now b.Backend.clock in
@@ -92,7 +80,7 @@ let run (b : Backend.t) =
       (fun name ->
         let h = b.Backend.lookup dir name in
         if is_source name then begin
-          let data = read_whole b h in
+          let data = b.Backend.read_whole h in
           let l, w, c = wc b data in
           totals :=
             {

@@ -113,9 +113,9 @@ type route_class = Serve_anywhere | Read_routed | Write_routed
 let route_class (op : Nfs.Server.op) =
   match op with
   | Nfs.Server.Getattr | Nfs.Server.Lookup | Nfs.Server.Readdir | Nfs.Server.Readlink
-  | Nfs.Server.Statfs ->
+  | Nfs.Server.Statfs | Nfs.Server.Readdirplus ->
     Serve_anywhere
-  | Nfs.Server.Read -> Read_routed
+  | Nfs.Server.Read | Nfs.Server.Multiread -> Read_routed
   | Nfs.Server.Write | Nfs.Server.Setattr | Nfs.Server.Create | Nfs.Server.Remove
   | Nfs.Server.Rename | Nfs.Server.Link | Nfs.Server.Symlink | Nfs.Server.Mkdir
   | Nfs.Server.Rmdir ->

@@ -238,6 +238,9 @@ let with_nfs f c = f (Client.nfs c)
 let getattr t fh = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.getattr n fh))
 let lookup t fh name = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.lookup n fh name))
 let readdir t fh = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.readdir n fh))
+
+let readdirplus t fh =
+  routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.readdirplus n fh))
 let readlink t fh = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.readlink n fh))
 let statfs t fh = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.statfs n fh))
 let access t fh wanted = routed t ~fh ~cls:Any (with_nfs (fun n -> Nfs.Client.access n fh wanted))
@@ -246,6 +249,12 @@ let read t fh ~off ~count =
   routed t ~fh ~cls:Rd (with_nfs (fun n -> Nfs.Client.read n fh ~off ~count))
 
 let read_all t fh = routed t ~fh ~cls:Rd (with_nfs (fun n -> Nfs.Client.read_all n fh))
+
+let multi_read t fh segments =
+  routed t ~fh ~cls:Rd (with_nfs (fun n -> Nfs.Client.multi_read n fh segments))
+
+let read_whole t fh ~size =
+  routed t ~fh ~cls:Rd (with_nfs (fun n -> Nfs.Client.read_whole n fh ~size))
 
 let write t fh ~off data =
   let attr = routed t ~fh ~cls:Wr (with_nfs (fun n -> Nfs.Client.write n fh ~off data)) in

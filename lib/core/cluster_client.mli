@@ -72,6 +72,19 @@ val read_all : t -> Nfs.Proto.fh -> string
 val write : t -> Nfs.Proto.fh -> off:int -> string -> Nfs.Proto.fattr
 val write_all : t -> Nfs.Proto.fh -> string -> unit
 val readdir : t -> Nfs.Proto.fh -> (string * int) list
+
+val readdirplus : t -> Nfs.Proto.fh -> Nfs.Proto.direntplus list
+(** Compound listing (entries with handles and attributes); served by
+    any frontend, like [readdir]. *)
+
+val multi_read :
+  t -> Nfs.Proto.fh -> (int * int) list -> Nfs.Proto.fattr * string list
+(** Batched read — routed like [read], to the owner or a leased
+    replica of the handle's shard. *)
+
+val read_whole : t -> Nfs.Proto.fh -> size:int -> string
+(** Whole-file read as MULTI_READ batches, routed like [read]. *)
+
 val statfs : t -> Nfs.Proto.fh -> Nfs.Proto.statfs_res
 val access : t -> Nfs.Proto.fh -> int -> int
 val remove : t -> Nfs.Proto.fh -> string -> unit

@@ -62,19 +62,24 @@ let block ~key ~nonce ~counter =
   block_into ~state out 0;
   Bytes.to_string out
 
-let crypt ~key ~nonce ?(counter = 1) data =
-  let len = String.length data in
-  let out = Bytes.of_string data in
+let xor_into ~key ~nonce ?(counter = 1) buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Chacha20.xor_into: range out of bounds";
   let ks = Bytes.create 64 in
   let nblocks = (len + 63) / 64 in
   for b = 0 to nblocks - 1 do
     let state = init_state ~key ~nonce ~counter:(counter + b) in
     block_into ~state ks 0;
-    let base = b * 64 in
-    let n = min 64 (len - base) in
+    let base = off + (b * 64) in
+    let n = min 64 (len - (b * 64)) in
     for i = 0 to n - 1 do
-      Bytes.set out (base + i)
-        (Char.chr (Char.code (Bytes.get out (base + i)) lxor Char.code (Bytes.get ks i)))
+      Bytes.set buf (base + i)
+        (Char.chr (Char.code (Bytes.get buf (base + i)) lxor Char.code (Bytes.get ks i)))
     done
-  done;
+  done
+
+let crypt ~key ~nonce ?(counter = 1) data =
+  let len = String.length data in
+  let out = Bytes.of_string data in
+  xor_into ~key ~nonce ~counter out ~off:0 ~len;
   Bytes.to_string out

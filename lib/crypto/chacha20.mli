@@ -12,6 +12,13 @@ val crypt : key:string -> nonce:string -> ?counter:int -> string -> string
     Encryption and decryption are the same operation. Raises
     [Invalid_argument] on wrong key or nonce size. *)
 
+val xor_into :
+  key:string -> nonce:string -> ?counter:int -> Bytes.t -> off:int -> len:int -> unit
+(** In-place variant of {!crypt}: XORs the keystream into
+    [buf.[off .. off+len)]. Used by the ESP hot path to encrypt a
+    message arena without copying it. Raises [Invalid_argument] on a
+    bad key/nonce size or an out-of-bounds range. *)
+
 val block : key:string -> nonce:string -> counter:int -> string
 (** One 64-byte keystream block (exposed for Poly1305 key generation
     and for tests against the RFC vectors). *)

@@ -14,8 +14,10 @@ let le32 s off =
 
 let mask26 = (1 lsl 26) - 1
 
-let mac ~key msg =
+let mac_sub ~key msg ~off ~len =
   if String.length key <> 32 then invalid_arg "Poly1305: key must be 32 bytes";
+  if off < 0 || len < 0 || off + len > String.length msg then
+    invalid_arg "Poly1305.mac_sub: range out of bounds";
   (* r: clamped first half of the key, split into 26-bit limbs. *)
   let t0 = le32 key 0 and t1 = le32 key 4 and t2 = le32 key 8 and t3 = le32 key 12 in
   let r0 = t0 land 0x3ffffff in
@@ -25,11 +27,11 @@ let mac ~key msg =
   let r4 = (t3 lsr 8) land 0x00fffff in
   let s1 = 5 * r1 and s2 = 5 * r2 and s3 = 5 * r3 and s4 = 5 * r4 in
   let h0 = ref 0 and h1 = ref 0 and h2 = ref 0 and h3 = ref 0 and h4 = ref 0 in
-  let len = String.length msg in
+  let stop = off + len in
   let block = Bytes.make 17 '\000' in
-  let pos = ref 0 in
-  while !pos < len do
-    let n = min 16 (len - !pos) in
+  let pos = ref off in
+  while !pos < stop do
+    let n = min 16 (stop - !pos) in
     Bytes.fill block 0 17 '\000';
     Bytes.blit_string msg !pos block 0 n;
     Bytes.set block n '\001' (* the 2^(8n) bit *);
@@ -112,3 +114,5 @@ let mac ~key msg =
   put32 8 f2;
   put32 12 f3;
   Bytes.to_string out
+
+let mac ~key msg = mac_sub ~key msg ~off:0 ~len:(String.length msg)

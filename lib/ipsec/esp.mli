@@ -8,11 +8,27 @@ exception Esp_error of string
 
 val seal : Sa.t -> string -> string
 (** Encrypt-and-authenticate a payload for the SA's next sequence
-    number. *)
+    number. Thin shim over the arena path below. *)
+
+type arena
+(** A message arena with ESP header space pre-reserved at the front:
+    the single allocation that carries a message from XDR encode
+    through seal. *)
+
+val arena : unit -> arena
+val arena_enc : arena -> Xdr.Enc.t
+(** The encoder to build the message payload in; the 12 header bytes
+    are already reserved ahead of it. *)
+
+val seal_arena : Sa.t -> arena -> string
+(** Patch the SPI/sequence header, encrypt the payload in place
+    (ChaCha20) and append the tag, returning the wire packet. The
+    arena's plaintext is consumed — seal each arena at most once. *)
 
 val open_ : Sa.t -> string -> string
-(** Verify, replay-check and decrypt. Raises {!Esp_error} on a bad
-    SPI, failed tag, or replayed sequence number. *)
+(** Verify, replay-check and decrypt. Raises {!Esp_error} on a
+    malformed length (counted under the [esp.drop.malformed] metric),
+    bad SPI, failed tag, or replayed sequence number. *)
 
 val overhead : int
 (** Bytes added to each packet (header + tag) under

@@ -15,11 +15,13 @@ let principal pub = "dsa-hex:" ^ Dcrypto.Hexcodec.encode (Dsa.pub_encode pub)
 (* Handshake message encodings (length-prefixed fields via Xdr). *)
 
 let encode_share share =
+  (* discfs-lint: allow hotpath-alloc "IKE handshake: once per attach, not per RPC" *)
   let e = Xdr.Enc.create () in
   Xdr.Enc.opaque e (Nat.to_bytes_be share);
   Xdr.Enc.to_string e
 
 let encode_auth ~share ~signature ~pub =
+  (* discfs-lint: allow hotpath-alloc "IKE handshake: once per attach, not per RPC" *)
   let e = Xdr.Enc.create () in
   Xdr.Enc.opaque e (Nat.to_bytes_be share);
   Xdr.Enc.opaque e (Dsa.sig_encode signature);
@@ -145,4 +147,11 @@ let rpc_channel ~client ~server =
     server_open = Esp.open_ server.rx;
     server_seal = Esp.seal server.tx;
     client_open = Esp.open_ client.rx;
+    client_message =
+      (fun () ->
+        let a = Esp.arena () in
+        {
+          Oncrpc.Rpc.msg_enc = Esp.arena_enc a;
+          msg_seal = (fun () -> Esp.seal_arena client.tx a);
+        });
   }

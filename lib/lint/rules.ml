@@ -14,6 +14,7 @@ type rule =
   | Decode_result
   | Secret_flow
   | Mli_coverage
+  | Hotpath_alloc
 
 let all_rules =
   [
@@ -24,6 +25,7 @@ let all_rules =
     Decode_result;
     Secret_flow;
     Mli_coverage;
+    Hotpath_alloc;
   ]
 
 let rule_name = function
@@ -34,6 +36,7 @@ let rule_name = function
   | Decode_result -> "decode-result"
   | Secret_flow -> "secret-flow"
   | Mli_coverage -> "mli-coverage"
+  | Hotpath_alloc -> "hotpath-alloc"
 
 let rule_of_name = function
   | "determinism" -> Some Determinism
@@ -43,6 +46,7 @@ let rule_of_name = function
   | "decode-result" -> Some Decode_result
   | "secret-flow" -> Some Secret_flow
   | "mli-coverage" -> Some Mli_coverage
+  | "hotpath-alloc" -> Some Hotpath_alloc
   | _ -> None
 
 type role = Lib | Decode | Exe
@@ -61,7 +65,10 @@ let role_of_path p =
 let rules_for_role = function
   | Lib -> [ Determinism; Poly_compare; No_print; Secret_flow; Mli_coverage ]
   | Decode ->
-    [ Determinism; Poly_compare; No_print; Decode_result; Secret_flow; Mli_coverage ]
+    [
+      Determinism; Poly_compare; No_print; Decode_result; Secret_flow; Mli_coverage;
+      Hotpath_alloc;
+    ]
   | Exe -> [ Poly_compare; Secret_flow ]
 
 type finding = { rule : rule; file : string; line : int; col : int; message : string }
@@ -136,6 +143,35 @@ let directive_rules ~keyword path =
 
 let suppressed_rules path = directive_rules ~keyword:"allow" path
 let required_rules path = directive_rules ~keyword:"require" path
+
+(* Hotpath-alloc is suppressed per *site*, never per file: the point
+   of the rule is that every intermediate buffer on the wire path
+   carries its own written-down reason. The marker lives on the
+   finding's line or the line above, with the justification as the
+   first quoted string (Pass D convention, see Races.site_suppression);
+   an empty or missing justification keeps the finding, reworded. *)
+let site_justification path ~line =
+  match read_file path with
+  | None -> None
+  | Some text ->
+    let lines = String.split_on_char '\n' text |> Array.of_list in
+    let check l =
+      if l < 1 || l > Array.length lines then None
+      else
+        let s = lines.(l - 1) in
+        match find_sub s "discfs-lint: allow hotpath-alloc" 0 with
+        | None -> None
+        | Some i -> (
+          let after = i + String.length "discfs-lint: allow hotpath-alloc" in
+          match String.index_from_opt s after '"' with
+          | None -> Some None
+          | Some q1 -> (
+            match String.index_from_opt s (q1 + 1) '"' with
+            | None -> Some None
+            | Some q2 when q2 = q1 + 1 -> Some None
+            | Some q2 -> Some (Some (String.sub s (q1 + 1) (q2 - q1 - 1)))))
+    in
+    (match check line with Some j -> Some j | None -> check (line - 1))
 
 (* --- path and type classification ------------------------------------ *)
 
@@ -285,6 +321,9 @@ let check_structure ~enabled ~emit str =
     if enabled Decode_result && name = "failwith" then
       emit Decode_result e.exp_loc
         "failwith in a wire-decode layer: attacker-controlled input must fail via result or the layer's decode exception";
+    if enabled Hotpath_alloc && suffix_matches name "Enc.create" then
+      emit Hotpath_alloc e.exp_loc
+        "fresh Enc.create in a wire hot-path layer: encode into the channel's message arena (encode_*_into / Esp.arena), or justify the intermediate buffer per site with (* discfs-lint: allow hotpath-alloc \"why\" *)";
     if enabled Poly_compare && List.mem raw poly_compare_paths then
       match first_param e.exp_type with
       | Some t when type_contains (path_in protected_type_suffixes) 0 t ->
@@ -342,7 +381,8 @@ let check_cmt ?role ~source_root cmt_path =
           @ required_rules source_path
         in
         let enabled r =
-          (List.mem r active || List.mem r required) && not (List.mem r suppressed)
+          (List.mem r active || List.mem r required)
+          && ((not (List.mem r suppressed)) || r = Hotpath_alloc)
         in
         let findings = ref [] in
         let emit rule (loc : Location.t) message =
@@ -358,7 +398,26 @@ let check_cmt ?role ~source_root cmt_path =
             :: !findings
         in
         check_structure ~enabled ~emit str;
-        Ok (List.sort_uniq compare_finding !findings)
+        let resolved =
+          List.filter_map
+            (fun f ->
+              if f.rule <> Hotpath_alloc then Some f
+              else
+                match site_justification source_path ~line:f.line with
+                | Some (Some _) -> None (* justified per site *)
+                | Some None ->
+                  Some
+                    {
+                      f with
+                      message =
+                        "Enc.create under an 'allow hotpath-alloc' comment with no \
+                         justification string — say why the intermediate buffer is needed \
+                         in quotes";
+                    }
+                | None -> Some f)
+            !findings
+        in
+        Ok (List.sort_uniq compare_finding resolved)
       | _ -> Error (cmt_path ^ ": no implementation typed tree"))
 
 (* --- mli coverage (a source-tree rule, not a cmt rule) ----------------- *)

@@ -34,7 +34,14 @@
       ([Dsa.private_key], [Dh.secret], [Secret.t]) must not appear as
       arguments at [Trace.*], [Format.*] or printer ([pp]/[show])
       call sites.
-    - [mli-coverage]: every [lib/] module has an interface file. *)
+    - [mli-coverage]: every [lib/] module has an interface file.
+    - [hotpath-alloc]: no fresh [Enc.create] in the wire-decode
+      layers — hot-path messages are built in the channel's arena
+      ([encode_*_into] / [Esp.arena]). Suppressed per *site* only,
+      with a mandatory quoted justification on the line or the line
+      above: [(* discfs-lint: allow hotpath-alloc "why" *)]. A
+      file-level [allow] does not apply, and a marker without a
+      justification keeps the finding. *)
 
 type rule =
   | Determinism
@@ -44,6 +51,7 @@ type rule =
   | Decode_result
   | Secret_flow
   | Mli_coverage
+  | Hotpath_alloc
 
 val all_rules : rule list
 

@@ -111,6 +111,29 @@ let lookup t dir name =
     store_attr t fh attr;
     (fh, attr)
 
+(* READDIRPLUS both answers the directory listing and prefetches the
+   name and attribute caches: every entry installs exactly what a
+   LOOKUP miss would have, so the walk's subsequent lookups hit. *)
+let readdirplus t dir =
+  let entries = Client.readdirplus t.client dir in
+  List.iter
+    (fun de ->
+      let fh = de.Proto.p_fh and attr = de.Proto.p_attr and name = de.Proto.p_name in
+      Race.act t.race
+        ~value:(Printf.sprintf "%d.%d" fh.Proto.ino fh.Proto.gen)
+        ~key:(nkey (key dir, name)) ();
+      Hashtbl.replace t.names ((key dir, name)) ((fh, attr), Clock.now t.clock +. t.name_ttl);
+      store_attr t fh attr)
+    entries;
+  entries
+
+(* Whole-file read sized by the attribute cache: after READDIRPLUS
+   the size is a cache hit, so the file transfers as a handful of
+   MULTI_READ batches with no extra attribute round trip. *)
+let read_whole t fh =
+  let attr = getattr t fh in
+  Client.read_whole t.client fh ~size:attr.Proto.size
+
 let read t fh ~off ~count =
   let attr, data = Client.read t.client fh ~off ~count in
   store_attr t fh attr;

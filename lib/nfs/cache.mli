@@ -42,6 +42,15 @@ val lookup : t -> Proto.fh -> string -> Proto.fh * Proto.fattr
 (** Served from the name cache while fresh; a miss pays one LOOKUP
     round trip and also refreshes the target's attribute entry. *)
 
+val readdirplus : t -> Proto.fh -> Proto.direntplus list
+(** One compound exchange per directory page; every entry prefetches
+    the name and attribute caches exactly as a {!lookup} miss would
+    install them. *)
+
+val read_whole : t -> Proto.fh -> string
+(** Whole-file read sized by the attribute cache (one GETATTR only on
+    a cold entry), transferred as batched MULTI_READ calls. *)
+
 val read : t -> Proto.fh -> off:int -> count:int -> Proto.fattr * string
 (** Pass-through; refreshes the attribute cache from the reply. *)
 

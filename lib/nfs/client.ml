@@ -154,6 +154,63 @@ let readdir t fh =
   in
   pages 0 []
 
+let readdirplus t fh =
+  let rec pages cookie acc =
+    let reply =
+      call t Proto.nfsproc_readdirplus (fun e ->
+          Proto.fh_encode e fh;
+          Xdr.Enc.uint32 e cookie;
+          Xdr.Enc.uint32 e Proto.max_data)
+    in
+    let d = Xdr.Dec.of_string reply in
+    status_check d;
+    let entries, eof = Proto.direntpluses_decode d in
+    let acc = acc @ entries in
+    if eof || entries = [] then acc
+    else pages (List.fold_left (fun m de -> max m de.Proto.p_cookie) cookie entries) acc
+  in
+  pages 0 []
+
+let multi_read t fh segs =
+  if segs = [] || List.length segs > Proto.max_read_segments then
+    invalid_arg "Nfs.Client.multi_read: segment count out of range";
+  let reply =
+    call t Proto.nfsproc_multi_read (fun e ->
+        Proto.fh_encode e fh;
+        Proto.read_segments_encode e segs)
+  in
+  let d = Xdr.Dec.of_string reply in
+  status_check d;
+  let attr = Proto.fattr_decode d in
+  let n = Xdr.Dec.uint32 d in
+  if n <> List.length segs then raise (Xdr.Decode_error "multi_read: segment count mismatch");
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (Xdr.Dec.opaque d :: acc) in
+  let datas = go n [] in
+  Xdr.Dec.expect_end d;
+  (attr, datas)
+
+(* Whole-file read with the size known up front (from a cached
+   attribute): page reads are batched [Proto.max_read_segments] at a
+   time into MULTI_READ calls — one credential check and one seal per
+   batch instead of per page. A short segment ends the file early
+   (it shrank since the attribute was read). *)
+let read_whole t fh ~size =
+  let buf = Buffer.create (max size 16) in
+  let rec go off =
+    if off < size then begin
+      let npages =
+        min Proto.max_read_segments ((size - off + Proto.max_data - 1) / Proto.max_data)
+      in
+      let segs = List.init npages (fun i -> (off + (i * Proto.max_data), Proto.max_data)) in
+      let _, datas = multi_read t fh segs in
+      List.iter (Buffer.add_string buf) datas;
+      let got = List.fold_left (fun a s -> a + String.length s) 0 datas in
+      if got = npages * Proto.max_data then go (off + got)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
 let statfs t fh =
   let reply = call t Proto.nfsproc_statfs (fun e -> Proto.fh_encode e fh) in
   let d = Xdr.Dec.of_string reply in

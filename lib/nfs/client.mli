@@ -29,6 +29,16 @@ val readdir : t -> Proto.fh -> (string * int) list
 (** Iterates READDIR with cookies until EOF; returns (name, fileid)
     including ["."] and [".."]. *)
 
+val readdirplus : t -> Proto.fh -> Proto.direntplus list
+(** Iterates READDIRPLUS with cookies until EOF: entries carry the
+    handle and attributes, saving the per-name LOOKUP round trips. *)
+
+val multi_read : t -> Proto.fh -> (int * int) list -> Proto.fattr * string list
+(** MULTI_READ: up to {!Proto.max_read_segments} [(offset, count)]
+    reads of one file in a single exchange; returns the file's
+    attributes and one data string per segment. Raises
+    [Invalid_argument] on an empty or oversized segment list. *)
+
 val statfs : t -> Proto.fh -> Proto.statfs_res
 
 val access : t -> Proto.fh -> int -> int
@@ -40,6 +50,11 @@ val access : t -> Proto.fh -> int -> int
 
 val read_all : t -> Proto.fh -> string
 (** Sequential 8 KB READs to EOF. *)
+
+val read_whole : t -> Proto.fh -> size:int -> string
+(** Whole-file read with the size known up front (from a cached
+    attribute): 8 KB pages batched {!Proto.max_read_segments} at a
+    time into MULTI_READ calls. A short segment ends the file early. *)
 
 val write_all : t -> Proto.fh -> string -> unit
 (** Sequential 8 KB WRITEs from offset 0. *)

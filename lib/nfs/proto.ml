@@ -38,6 +38,19 @@ let nfsproc_statfs = 17
    server would grant it; DisCFS answers from KeyNote. *)
 let nfsproc_access = 18
 
+(* Vendor extensions (PROTOCOL.md §12): NFSv3-style compound
+   procedures that amortize one credential check and one channel seal
+   over many logical operations. READDIRPLUS returns directory
+   entries together with each entry's handle and attributes;
+   MULTI_READ performs up to [max_read_segments] page reads of one
+   file in a single exchange. *)
+let nfsproc_readdirplus = 19
+let nfsproc_multi_read = 20
+
+(* Bound on MULTI_READ segments per call: 8 pages of [max_data] keeps
+   the reply under the 64 KB a UDP datagram could carry. *)
+let max_read_segments = 8
+
 let access_read = 0x01
 let access_lookup = 0x02
 let access_modify = 0x04
@@ -293,6 +306,75 @@ let direntries_decode d =
     end
   in
   go []
+
+(* --- readdirplus entries -------------------------------------------- *)
+
+(* A readdir entry extended with the handle and attributes the client
+   would otherwise fetch with a per-name LOOKUP. *)
+type direntplus = {
+  p_fileid : int;
+  p_name : string;
+  p_cookie : int;
+  p_fh : fh;
+  p_attr : fattr;
+}
+
+let direntpluses_encode e entries eof =
+  List.iter
+    (fun de ->
+      Xdr.Enc.bool e true;
+      Xdr.Enc.uint32 e de.p_fileid;
+      Xdr.Enc.string e de.p_name;
+      Xdr.Enc.uint32 e de.p_cookie;
+      fh_encode e de.p_fh;
+      fattr_encode e de.p_attr)
+    entries;
+  Xdr.Enc.bool e false;
+  Xdr.Enc.bool e eof
+
+let direntpluses_decode d =
+  let rec go acc =
+    if Xdr.Dec.bool d then begin
+      let p_fileid = Xdr.Dec.uint32 d in
+      let p_name = Xdr.Dec.string d in
+      let p_cookie = Xdr.Dec.uint32 d in
+      let p_fh = fh_decode d in
+      let p_attr = fattr_decode d in
+      go ({ p_fileid; p_name; p_cookie; p_fh; p_attr } :: acc)
+    end
+    else begin
+      let eof = Xdr.Dec.bool d in
+      (List.rev acc, eof)
+    end
+  in
+  go []
+
+(* --- multi-read segments -------------------------------------------- *)
+
+let read_segments_encode e segs =
+  let n = List.length segs in
+  if n = 0 || n > max_read_segments then
+    invalid_arg "Proto.read_segments_encode: segment count out of range";
+  Xdr.Enc.uint32 e n;
+  List.iter
+    (fun (off, count) ->
+      Xdr.Enc.uint32 e off;
+      Xdr.Enc.uint32 e count)
+    segs
+
+let read_segments_decode d =
+  let n = Xdr.Dec.uint32 d in
+  if n = 0 || n > max_read_segments then
+    raise (Xdr.Decode_error "multi_read: segment count out of range");
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let off = Xdr.Dec.uint32 d in
+      let count = Xdr.Dec.uint32 d in
+      go (k - 1) ((off, count) :: acc)
+    end
+  in
+  go n []
 
 type statfs_res = { tsize : int; bsize : int; total_blocks : int; bfree : int; bavail : int }
 

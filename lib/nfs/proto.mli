@@ -41,6 +41,18 @@ val nfsproc_access : int
     v2 program. The client asks which of a set of access rights the
     server would grant it; DisCFS answers from KeyNote. *)
 
+val nfsproc_readdirplus : int
+(** Vendor extension (PROTOCOL.md §12.1): readdir + per-entry handle
+    and attributes in one reply, amortizing one credential check and
+    one channel seal over a directory page. *)
+
+val nfsproc_multi_read : int
+(** Vendor extension (PROTOCOL.md §12.2): up to {!max_read_segments}
+    reads of one file under a single credential check and seal. *)
+
+val max_read_segments : int
+(** MULTI_READ segment bound per call (8). *)
+
 (** {1 ACCESS right bits} *)
 
 val access_read : int
@@ -164,6 +176,31 @@ val direntries_encode : Xdr.Enc.t -> dirent list -> bool -> unit
     by the eof marker. *)
 
 val direntries_decode : Xdr.Dec.t -> dirent list * bool
+
+(** {1 Readdirplus entries} *)
+
+(** A readdir entry extended with the handle and attributes the
+    client would otherwise fetch with a per-name LOOKUP. *)
+type direntplus = {
+  p_fileid : int;
+  p_name : string;
+  p_cookie : int;
+  p_fh : fh;
+  p_attr : fattr;
+}
+
+val direntpluses_encode : Xdr.Enc.t -> direntplus list -> bool -> unit
+val direntpluses_decode : Xdr.Dec.t -> direntplus list * bool
+
+(** {1 Multi-read segments} *)
+
+val read_segments_encode : Xdr.Enc.t -> (int * int) list -> unit
+(** [(offset, count)] list; raises [Invalid_argument] when empty or
+    over {!max_read_segments}. *)
+
+val read_segments_decode : Xdr.Dec.t -> (int * int) list
+(** Raises [Xdr.Decode_error] when the count is zero or over
+    {!max_read_segments} (decode discipline, PROTOCOL.md §10). *)
 
 type statfs_res = {
   tsize : int;

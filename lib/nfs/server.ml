@@ -16,6 +16,8 @@ type op =
   | Rmdir
   | Readdir
   | Statfs
+  | Readdirplus
+  | Multiread
 
 let op_to_string = function
   | Getattr -> "getattr"
@@ -33,6 +35,8 @@ let op_to_string = function
   | Rmdir -> "rmdir"
   | Readdir -> "readdir"
   | Statfs -> "statfs"
+  | Readdirplus -> "readdirplus"
+  | Multiread -> "multiread"
 
 type hooks = {
   authorize : conn:Rpc.conn_info -> fh:Proto.fh -> op:op -> (unit, int) result;
@@ -279,6 +283,59 @@ let handle_nfs t ~conn ~proc ~args =
         let taken = List.rev !taken in
         let eof = List.length taken = List.length entries in
         reply_status Proto.nfs_ok ~body:(fun e -> Proto.direntries_encode e taken eof))
+  end
+  else if proc = Proto.nfsproc_readdirplus then begin
+    let fh = Proto.fh_decode d in
+    let cookie = Xdr.Dec.uint32 d in
+    let count = Xdr.Dec.uint32 d in
+    run t ~conn ~fh ~op:Readdirplus (fun () ->
+        let entries = Ffs.Fs.readdir t.fs fh.Proto.ino in
+        let entries = List.filteri (fun i _ -> i >= cookie) entries in
+        (* The plus-entry also carries the handle (32 B) and the
+           attributes (68 B), so its budget floor is bigger than plain
+           readdir's. One authorization covers the page; each entry's
+           attributes still pass through [present_attr]. *)
+        let budget = ref (max count 512) in
+        let taken = ref [] in
+        let idx = ref cookie in
+        List.iter
+          (fun (name, ino) ->
+            let sz = 116 + String.length name in
+            if !budget >= sz then begin
+              budget := !budget - sz;
+              incr idx;
+              taken :=
+                {
+                  Proto.p_fileid = ino;
+                  p_name = name;
+                  p_cookie = !idx;
+                  p_fh = fh_of t ino;
+                  p_attr = t.hooks.present_attr ~conn (fattr_of_ino t ino);
+                }
+                :: !taken
+            end)
+          entries;
+        let taken = List.rev !taken in
+        let eof = List.length taken = List.length entries in
+        reply_status Proto.nfs_ok ~body:(fun e -> Proto.direntpluses_encode e taken eof))
+  end
+  else if proc = Proto.nfsproc_multi_read then begin
+    let fh = Proto.fh_decode d in
+    let segs = Proto.read_segments_decode d in
+    run t ~conn ~fh ~op:Multiread (fun () ->
+        (* One credential check for the whole batch; the attributes
+           are presented once, ahead of the segments. *)
+        let datas =
+          List.map
+            (fun (off, count) ->
+              let count = min count Proto.max_data in
+              Ffs.Fs.read t.fs fh.Proto.ino ~off ~len:count)
+            segs
+        in
+        reply_status Proto.nfs_ok ~body:(fun e ->
+            attr_body t conn (fattr_of_ino t fh.Proto.ino) e;
+            Xdr.Enc.uint32 e (List.length datas);
+            List.iter (fun data -> Xdr.Enc.opaque e data) datas))
   end
   else if proc = Proto.nfsproc_access then begin
     let fh = Proto.fh_decode d in

@@ -19,6 +19,8 @@ type op =
   | Rmdir
   | Readdir
   | Statfs
+  | Readdirplus  (** compound: readdir + per-entry attributes *)
+  | Multiread  (** compound: batched reads of one file *)
 
 val op_to_string : op -> string
 

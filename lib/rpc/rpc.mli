@@ -104,16 +104,28 @@ val is_dead : server -> bool
 
 type client
 
+type message = { msg_enc : Xdr.Enc.t; msg_seal : unit -> string }
+(** A fused encode→seal message: the channel hands out an arena with
+    any transport header space pre-reserved; the call is encoded
+    straight into [msg_enc] and [msg_seal] turns the arena into the
+    wire packet in place. Sealing consumes the arena's plaintext, so
+    each message is sealed at most once — retransmissions encode a
+    fresh one. *)
+
 type channel = {
   client_seal : string -> string;
   server_open : string -> string;
   server_seal : string -> string;
   client_open : string -> string;
+  client_message : unit -> message;
 }
 (** Directional wire transforms (the ESP layer): requests are sealed
     by the client and opened by the server, replies the reverse. The
     transforms run "inside" the simulated hosts, so any virtual time
-    they charge lands on the right side. *)
+    they charge lands on the right side. [client_message] is the
+    fused request path — one arena from XDR encode through seal; the
+    string transforms remain for replies (cached plain in the DRC and
+    sealed per transmission) and for tests. *)
 
 val plaintext : channel
 (** Identity transforms. *)
@@ -197,6 +209,15 @@ val encode_call :
   xid:int -> prog:int -> vers:int -> proc:int -> uid:int -> string -> string
 (** Frame a CALL message; the argument string is the pre-marshalled
     procedure arguments. *)
+
+val encode_call_into :
+  Xdr.Enc.t -> xid:int -> prog:int -> vers:int -> proc:int -> uid:int -> string -> unit
+(** Frame a CALL straight into an arena (byte-identical to
+    {!encode_call}); the fused request path encodes into a
+    channel-provided {!message} arena this way. *)
+
+val encode_reply_into : Xdr.Enc.t -> xid:int -> (string, fault) result -> unit
+(** Frame a REPLY straight into an arena. *)
 
 val decode_reply : string -> int * (string, fault) result
 (** Parse a REPLY message into (xid, outcome). Raises

@@ -32,7 +32,9 @@ let required_bits (op : Nfs.Server.op) =
   match op with
   | Nfs.Server.Getattr | Nfs.Server.Statfs -> 0
   | Nfs.Server.Lookup -> 1
-  | Nfs.Server.Read | Nfs.Server.Readdir | Nfs.Server.Readlink -> 4
+  | Nfs.Server.Read | Nfs.Server.Readdir | Nfs.Server.Readlink | Nfs.Server.Readdirplus
+  | Nfs.Server.Multiread ->
+    4
   | Nfs.Server.Write | Nfs.Server.Setattr | Nfs.Server.Create | Nfs.Server.Remove
   | Nfs.Server.Rename | Nfs.Server.Link | Nfs.Server.Symlink | Nfs.Server.Mkdir
   | Nfs.Server.Rmdir ->

@@ -3,43 +3,112 @@ exception Decode_error of string
 let pad_len n = (4 - (n mod 4)) mod 4
 
 module Enc = struct
-  type t = Buffer.t
+  (* One growable byte arena per message. Encoders append at [len];
+     reserve/patch lets a writer leave a hole (a length word, an ESP
+     header) and fill it once the tail is known, so nested bodies such
+     as the RPC credential no longer round-trip through their own
+     Buffer. *)
+  type t = { mutable buf : Bytes.t; mutable len : int }
+  type patch = int
 
-  let create () = Buffer.create 256
+  let create () = { buf = Bytes.create 256; len = 0 }
 
-  let uint32 b v =
+  let length t = t.len
+
+  let ensure t n =
+    let need = t.len + n in
+    if need > Bytes.length t.buf then begin
+      let cap = ref (max 256 (Bytes.length t.buf)) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end
+
+  let set_be32 buf off v =
+    Bytes.set buf off (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set buf (off + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set buf (off + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set buf (off + 3) (Char.chr (v land 0xff))
+
+  let uint32 t v =
     if v < 0 || v > 0xffffffff then invalid_arg "Xdr.Enc.uint32: out of range";
-    Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
-    Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
-    Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
-    Buffer.add_char b (Char.chr (v land 0xff))
+    ensure t 4;
+    set_be32 t.buf t.len v;
+    t.len <- t.len + 4
 
-  let int32 b v =
+  let int32 t v =
     if v < -0x80000000 || v > 0x7fffffff then invalid_arg "Xdr.Enc.int32: out of range";
-    uint32 b (v land 0xffffffff)
+    uint32 t (v land 0xffffffff)
 
-  let uint64 b v =
+  let uint64 t v =
+    ensure t 8;
     for i = 7 downto 0 do
-      Buffer.add_char b (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (i * 8)) 0xffL)))
+      Bytes.set t.buf t.len
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (i * 8)) 0xffL)));
+      t.len <- t.len + 1
     done
 
-  let bool b v = uint32 b (if v then 1 else 0)
+  let bool t v = uint32 t (if v then 1 else 0)
 
-  let add_padded b s =
-    Buffer.add_string b s;
-    Buffer.add_string b (String.make (pad_len (String.length s)) '\000')
+  let raw t s =
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
 
-  let opaque b s =
-    uint32 b (String.length s);
-    add_padded b s
+  let add_padded t s =
+    let n = String.length s in
+    let p = pad_len n in
+    ensure t (n + p);
+    Bytes.blit_string s 0 t.buf t.len n;
+    Bytes.fill t.buf (t.len + n) p '\000';
+    t.len <- t.len + n + p
 
-  let opaque_fixed b n s =
+  let opaque t s =
+    uint32 t (String.length s);
+    add_padded t s
+
+  let opaque_fixed t n s =
     if String.length s <> n then invalid_arg "Xdr.Enc.opaque_fixed: length mismatch";
-    add_padded b s
+    add_padded t s
 
   let string = opaque
-  let raw = Buffer.add_string
-  let to_string = Buffer.contents
+
+  let reserve t n =
+    ensure t n;
+    let p = t.len in
+    Bytes.fill t.buf p n '\000';
+    t.len <- t.len + n;
+    p
+
+  let reserve_uint32 t = reserve t 4
+
+  let patch_uint32 t p v =
+    if v < 0 || v > 0xffffffff then invalid_arg "Xdr.Enc.patch_uint32: out of range";
+    if p < 0 || p + 4 > t.len then invalid_arg "Xdr.Enc.patch_uint32: bad patch";
+    set_be32 t.buf p v
+
+  let patch_raw t p s =
+    let n = String.length s in
+    if p < 0 || p + n > t.len then invalid_arg "Xdr.Enc.patch_raw: bad patch";
+    Bytes.blit_string s 0 t.buf p n
+
+  let sub_writer t fill =
+    let p = reserve_uint32 t in
+    let start = t.len in
+    fill t;
+    let n = t.len - start in
+    patch_uint32 t p n;
+    let pad = pad_len n in
+    ensure t pad;
+    Bytes.fill t.buf t.len pad '\000';
+    t.len <- t.len + pad
+
+  let bytes t = t.buf
+  let to_string t = Bytes.sub_string t.buf 0 t.len
 end
 
 module Dec = struct
@@ -48,7 +117,8 @@ module Dec = struct
   let of_string data = { data; pos = 0 }
 
   let need t n =
-    if t.pos + n > String.length t.data then raise (Decode_error "truncated XDR data")
+    if n < 0 || t.pos + n > String.length t.data then
+      raise (Decode_error "truncated XDR data")
 
   let uint32 t =
     need t 4;
@@ -80,10 +150,20 @@ module Dec = struct
     | 1 -> true
     | n -> raise (Decode_error (Printf.sprintf "bad boolean %d" n))
 
+  (* Canonicality: RFC 4506 §3 requires the pad bytes to be zero. A
+     decoder that ignores them admits distinct wire encodings of the
+     same value — a hazard for DRC keys and any signature computed
+     over re-encoded bytes — so non-zero padding is a decode error,
+     not a don't-care. *)
   let take_padded t n =
-    need t (n + pad_len n);
+    let p = pad_len n in
+    need t (n + p);
     let s = String.sub t.data t.pos n in
-    t.pos <- t.pos + n + pad_len n;
+    for i = 0 to p - 1 do
+      if t.data.[t.pos + n + i] <> '\000' then
+        raise (Decode_error "non-zero XDR padding")
+    done;
+    t.pos <- t.pos + n + p;
     s
 
   let opaque t =

@@ -7,8 +7,19 @@ exception Decode_error of string
 
 module Enc : sig
   type t
+  (** A growable byte arena. One arena carries a whole message from
+      XDR encode through ESP seal: writers append at the tail, and
+      {!reserve}/{!patch_uint32} let a caller leave a hole (a length
+      word, an ESP header) to fill once the tail is known. *)
+
+  type patch
+  (** Handle to a reserved region, returned by {!reserve} /
+      {!reserve_uint32} and consumed by the patch functions. *)
 
   val create : unit -> t
+  val length : t -> int
+  (** Bytes written so far. *)
+
   val uint32 : t -> int -> unit
   (** Raises [Invalid_argument] outside [0, 2^32). *)
 
@@ -30,6 +41,34 @@ module Enc : sig
   (** Append pre-marshalled bytes verbatim (no length, no padding);
       used to nest one XDR body inside another message. *)
 
+  val reserve : t -> int -> patch
+  (** Append [n] zero bytes and return a handle to them; used to
+      pre-reserve ESP header space at the front of an arena. *)
+
+  val reserve_uint32 : t -> patch
+  (** [reserve t 4], for a length word to be patched later. *)
+
+  val patch_uint32 : t -> patch -> int -> unit
+  (** Overwrite a reserved word in place. Raises [Invalid_argument]
+      on an out-of-range value or a handle outside the written
+      region. *)
+
+  val patch_raw : t -> patch -> string -> unit
+  (** Overwrite reserved bytes in place with [s], verbatim. *)
+
+  val sub_writer : t -> (t -> unit) -> unit
+  (** Variable-length opaque whose body is produced by a writer:
+      reserves the length word, runs the writer against the same
+      arena, then patches the length and appends the XDR padding.
+      Wire-identical to [opaque t (… to_string of a nested arena …)]
+      without the intermediate copy. *)
+
+  val bytes : t -> Bytes.t
+  (** The underlying storage; only the first {!length} bytes are
+      meaningful. Exposed so the ESP layer can encrypt in place —
+      callers must not retain it across a write (growth swaps the
+      buffer). *)
+
   val to_string : t -> string
 end
 
@@ -42,6 +81,9 @@ module Dec : sig
   val uint64 : t -> int64
   val bool : t -> bool
   val opaque : t -> string
+  (** Raises {!Decode_error} on truncation or non-zero pad bytes
+      (RFC 4506 requires canonical zero padding). *)
+
   val opaque_fixed : t -> int -> string
   val string : t -> string
   val remaining : t -> int

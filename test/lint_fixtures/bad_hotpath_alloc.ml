@@ -1,0 +1,22 @@
+(* Fixture: intermediate encoders in what poses as a wire hot-path
+   layer (checked under the decode role). Messages are built in the
+   channel's message arena; every fresh encoder needs its own
+   written-down reason. The file-level allow on the next line must
+   NOT silence the rule — hotpath-alloc is per-site only. *)
+(* discfs-lint: allow hotpath-alloc *)
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () : t = Buffer.create 16
+end
+
+let bare_site () = Enc.create ()
+
+let unjustified_site () =
+  (* discfs-lint: allow hotpath-alloc *)
+  Enc.create ()
+
+let justified_site () =
+  (* discfs-lint: allow hotpath-alloc "fixture: the reason, written down" *)
+  Enc.create ()

@@ -1,0 +1,534 @@
+(* Hot-path suite: the single-pass encode->seal pipeline and its wire
+   guarantees.
+
+   - Golden byte-equality: the arena encoder and the ESP in-place
+     seal must emit exactly the bytes the old Buffer/concat pipeline
+     did, for every procedure in the call corpus — the refactor is an
+     allocation change, never a wire change.
+   - XDR canonicality: RFC 4506 pad bytes must be zero on the way in;
+     decode->encode round-trips are byte-identical.
+   - ESP shape guards: per-cipher length validation runs before any
+     slicing, and every such drop lands under [esp.drop.malformed].
+   - Decode discipline: byte mutations of valid wire data raise only
+     the documented typed errors.
+   - The compound procedures (READDIRPLUS, MULTI_READ) round-trip
+     over plain NFS and through the cluster's redirect path. *)
+
+module Proto = Nfs.Proto
+module Rpc = Oncrpc.Rpc
+module Clock = Simnet.Clock
+module Stats = Simnet.Stats
+
+(* --- reference encoders ------------------------------------------------ *)
+
+(* The pre-arena pipeline, kept alive here as the golden reference:
+   nested Buffer for the credential body, a Buffer for the message,
+   string concatenation for the ESP packet. *)
+
+let buf_be32 b v =
+  for i = 3 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (i * 8)) land 0xff))
+  done
+
+let str_be32 v = String.init 4 (fun i -> Char.chr ((v lsr ((3 - i) * 8)) land 0xff))
+
+let str_be64 v = String.init 8 (fun i -> Char.chr ((v lsr ((7 - i) * 8)) land 0xff))
+
+let reference_encode_call ~xid ~prog ~vers ~proc ~uid args =
+  let cred = Buffer.create 16 in
+  buf_be32 cred uid;
+  let cred_body = Buffer.contents cred in
+  let b = Buffer.create 256 in
+  buf_be32 b xid;
+  buf_be32 b 0 (* CALL *);
+  buf_be32 b 2 (* rpcvers *);
+  buf_be32 b prog;
+  buf_be32 b vers;
+  buf_be32 b proc;
+  buf_be32 b 1 (* AUTH_UNIX *);
+  buf_be32 b (String.length cred_body);
+  Buffer.add_string b cred_body (* 4 bytes: no pad *);
+  buf_be32 b 0 (* verf: AUTH_NONE *);
+  buf_be32 b 0 (* empty opaque *);
+  Buffer.add_string b args;
+  Buffer.contents b
+
+let reference_encode_reply ~xid outcome =
+  let b = Buffer.create 64 in
+  buf_be32 b xid;
+  buf_be32 b 1 (* REPLY *);
+  buf_be32 b 0 (* MSG_ACCEPTED *);
+  buf_be32 b 0 (* verf AUTH_NONE *);
+  buf_be32 b 0 (* empty opaque *);
+  (match outcome with
+  | Ok results ->
+    buf_be32 b 0 (* SUCCESS *);
+    Buffer.add_string b results
+  | Error stat -> buf_be32 b stat);
+  Buffer.contents b
+
+let reference_seal sa payload =
+  let seq = Ipsec.Sa.next_seq sa in
+  let header = str_be32 (Ipsec.Sa.spi sa) ^ str_be64 seq in
+  let key = Dcrypto.Secret.reveal (Ipsec.Sa.key sa) in
+  let nonce = "\000\000\000\000" ^ str_be64 seq in
+  let ciphertext = Dcrypto.Chacha20.crypt ~key ~nonce payload in
+  let otk = String.sub (Dcrypto.Chacha20.block ~key ~nonce ~counter:0) 0 32 in
+  let tag = Dcrypto.Poly1305.mac ~key:otk (header ^ ciphertext) in
+  header ^ ciphertext ^ tag
+
+let mk_sa ?cipher () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  ( Ipsec.Sa.create ~clock ~cost:Simnet.Cost.default ~stats ~spi:7 ?cipher
+      ~key:(String.make 32 'k') (),
+    stats )
+
+(* Representative pre-marshalled args for every NFS procedure plus
+   the mount and compound extensions: the corpus the byte-equality
+   tests sweep. Contents only need to be plausible bytes — the frame
+   around them is what is under test. *)
+let call_corpus =
+  let e = Xdr.Enc.create () in
+  Proto.fh_encode e { Proto.ino = 2; gen = 7 };
+  let fh_bytes = Xdr.Enc.to_string e in
+  let str s =
+    let e = Xdr.Enc.create () in
+    Xdr.Enc.string e s;
+    Xdr.Enc.to_string e
+  in
+  List.concat
+    [
+      [ (Proto.nfs_prog, Proto.nfs_vers, 0, 0, "") (* NULL *) ];
+      List.map
+        (fun proc -> (Proto.nfs_prog, Proto.nfs_vers, proc, 1000, fh_bytes))
+        [ 1; 4; 5; 6; 16; 17; 18; Proto.nfsproc_readdirplus; Proto.nfsproc_multi_read ];
+      List.map
+        (fun proc -> (Proto.nfs_prog, Proto.nfs_vers, proc, 1000, fh_bytes ^ str "name"))
+        [ 2; 9; 10; 14 ];
+      [ (Proto.mount_prog, Proto.mount_vers, 1, 0, str "/export") ];
+    ]
+
+let test_call_bytes_golden () =
+  List.iteri
+    (fun i (prog, vers, proc, uid, args) ->
+      let xid = 0x1000 + i in
+      let want = reference_encode_call ~xid ~prog ~vers ~proc ~uid args in
+      Alcotest.(check string)
+        (Printf.sprintf "encode_call prog=%d proc=%d" prog proc)
+        want
+        (Rpc.encode_call ~xid ~prog ~vers ~proc ~uid args);
+      let e = Xdr.Enc.create () in
+      Rpc.encode_call_into e ~xid ~prog ~vers ~proc ~uid args;
+      Alcotest.(check string)
+        (Printf.sprintf "encode_call_into prog=%d proc=%d" prog proc)
+        want (Xdr.Enc.to_string e))
+    call_corpus
+
+let test_reply_bytes_golden () =
+  let cases =
+    [
+      (Ok "some results", 0);
+      (Ok "", 0);
+      (Error Rpc.Prog_unavail, 1);
+      (Error Rpc.Proc_unavail, 3);
+      (Error Rpc.Garbage_args, 4);
+      (Error (Rpc.System_err "boom"), 5);
+    ]
+  in
+  List.iteri
+    (fun i (outcome, stat) ->
+      let xid = 0x2000 + i in
+      let want =
+        reference_encode_reply ~xid
+          (match outcome with Ok r -> Ok r | Error _ -> Error stat)
+      in
+      let e = Xdr.Enc.create () in
+      Rpc.encode_reply_into e ~xid outcome;
+      Alcotest.(check string)
+        (Printf.sprintf "encode_reply_into stat=%d" stat)
+        want (Xdr.Enc.to_string e);
+      (* And the receiver parses the frame back to the outcome. *)
+      match (Rpc.decode_reply want, outcome) with
+      | (xid', Ok got), Ok sent ->
+        Alcotest.(check int) "reply xid" xid xid';
+        Alcotest.(check string) "reply body" sent got
+      | (xid', Error _), Error _ -> Alcotest.(check int) "fault xid" xid xid'
+      | _ -> Alcotest.fail "reply outcome flipped")
+    cases
+
+let test_seal_bytes_golden () =
+  (* Same key, same SPI, two fresh SAs: the sequence streams align,
+     so packet k from the reference pipeline must equal packet k from
+     the arena pipeline — including the sealed RPC frame the fused
+     client path emits. *)
+  let reference, _ = mk_sa () in
+  let arena, _ = mk_sa () in
+  let payloads =
+    [ ""; "x"; "abc"; String.make 64 'p'; String.make 8192 'q'; String.make 8193 'r' ]
+  in
+  List.iter
+    (fun payload ->
+      Alcotest.(check string)
+        (Printf.sprintf "sealed %d-byte payload" (String.length payload))
+        (reference_seal reference payload)
+        (Ipsec.Esp.seal arena payload))
+    payloads;
+  List.iteri
+    (fun i (prog, vers, proc, uid, args) ->
+      let xid = 0x3000 + i in
+      let want =
+        reference_seal reference (reference_encode_call ~xid ~prog ~vers ~proc ~uid args)
+      in
+      let a = Ipsec.Esp.arena () in
+      Rpc.encode_call_into (Ipsec.Esp.arena_enc a) ~xid ~prog ~vers ~proc ~uid args;
+      Alcotest.(check string)
+        (Printf.sprintf "sealed call prog=%d proc=%d" prog proc)
+        want
+        (Ipsec.Esp.seal_arena arena a))
+    call_corpus;
+  (* And the receiver opens what either pipeline sealed. *)
+  let tx, _ = mk_sa () in
+  let rx, _ = mk_sa () in
+  Alcotest.(check string) "opens" "round trip"
+    (Ipsec.Esp.open_ rx (Ipsec.Esp.seal tx "round trip"))
+
+(* --- XDR canonicality -------------------------------------------------- *)
+
+let corrupt_pad encoded ~at =
+  let b = Bytes.of_string encoded in
+  Bytes.set b at '\xff';
+  Bytes.to_string b
+
+let expect_decode_error name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Decode_error" name
+  | exception Xdr.Decode_error _ -> ()
+
+let test_nonzero_padding_rejected () =
+  (* "abcde" as opaque: 4-byte length + 5 bytes + 3 pad bytes. *)
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.opaque e "abcde";
+  let good = Xdr.Enc.to_string e in
+  Alcotest.(check int) "padded length" 12 (String.length good);
+  Alcotest.(check string) "zero padding decodes" "abcde"
+    (Xdr.Dec.opaque (Xdr.Dec.of_string good));
+  for at = 9 to 11 do
+    expect_decode_error
+      (Printf.sprintf "opaque pad byte %d" at)
+      (fun () -> Xdr.Dec.opaque (Xdr.Dec.of_string (corrupt_pad good ~at)))
+  done;
+  (* Same discipline for string and fixed-length opaque decoding. *)
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.string e "hi";
+  let s = Xdr.Enc.to_string e in
+  expect_decode_error "string pad byte" (fun () ->
+      Xdr.Dec.string (Xdr.Dec.of_string (corrupt_pad s ~at:7)));
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.opaque_fixed e 6 "fixedA";
+  let f = Xdr.Enc.to_string e in
+  expect_decode_error "opaque_fixed pad byte" (fun () ->
+      Xdr.Dec.opaque_fixed (Xdr.Dec.of_string (corrupt_pad f ~at:7)) 6);
+  (* The payload bytes themselves are not the pad: corrupting them
+     changes the value but must still decode. *)
+  Alcotest.(check string) "payload corruption still decodes" "abcd\xff"
+    (Xdr.Dec.opaque (Xdr.Dec.of_string (corrupt_pad good ~at:8)))
+
+let prop_canonical_roundtrip =
+  (* decode(encode(v)) = v, and re-encoding the decoded value
+     reproduces the input bytes exactly: with zero-padding enforced on
+     both sides there is one wire form per value. *)
+  QCheck.Test.make ~name:"xdr round-trips are canonical" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         quad (int_bound 0xffffff) string_printable (string_size (int_bound 40)) bool))
+    (fun (n, s, o, b) ->
+      let encode (n, s, o, b) =
+        let e = Xdr.Enc.create () in
+        Xdr.Enc.uint32 e n;
+        Xdr.Enc.string e s;
+        Xdr.Enc.opaque e o;
+        Xdr.Enc.bool e b;
+        Xdr.Enc.to_string e
+      in
+      let wire = encode (n, s, o, b) in
+      let d = Xdr.Dec.of_string wire in
+      let n' = Xdr.Dec.uint32 d in
+      let s' = Xdr.Dec.string d in
+      let o' = Xdr.Dec.opaque d in
+      let b' = Xdr.Dec.bool d in
+      let v' = (n', s', o', b') in
+      Xdr.Dec.expect_end d;
+      v' = (n, s, o, b) && String.equal (encode v') wire)
+
+let prop_mutated_xdr_typed_errors =
+  (* Flipping any byte of a valid stream decodes to something, or
+     fails with Decode_error — pad positions included; nothing else
+     may escape. *)
+  QCheck.Test.make ~name:"xdr decoders: byte mutations raise only Decode_error"
+    ~count:500
+    (QCheck.make QCheck.Gen.(triple (int_bound 10_000) (int_bound 255) small_string))
+    (fun (pos, byte, s) ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.string e s;
+      Xdr.Enc.opaque e "pad me";
+      Xdr.Enc.uint32 e 5;
+      let wire = Xdr.Enc.to_string e in
+      let b = Bytes.of_string wire in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      let d = Xdr.Dec.of_string (Bytes.to_string b) in
+      match
+        let _ = Xdr.Dec.string d in
+        let _ = Xdr.Dec.opaque d in
+        let _ = Xdr.Dec.uint32 d in
+        Xdr.Dec.expect_end d
+      with
+      | () -> true
+      | exception Xdr.Decode_error _ -> true)
+
+(* --- ESP length guards ------------------------------------------------- *)
+
+let malformed_count stats = Stats.get stats "esp.drop.malformed"
+
+let expect_esp_error name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Esp_error" name
+  | exception Ipsec.Esp.Esp_error _ -> ()
+
+let test_esp_length_guard_chacha () =
+  let sa, stats = mk_sa () in
+  (* Below header + tag: malformed, counted, before any slicing. *)
+  for n = 0 to Ipsec.Esp.overhead - 1 do
+    let before = malformed_count stats in
+    expect_esp_error
+      (Printf.sprintf "chacha len %d" n)
+      (fun () -> Ipsec.Esp.open_ sa (String.make n 'x'));
+    Alcotest.(check int) (Printf.sprintf "counted at len %d" n) (before + 1)
+      (malformed_count stats)
+  done;
+  (* Exactly header + tag is a well-formed shape (empty payload): it
+     proceeds to the SPI check and fails there, not under the
+     malformed metric. *)
+  let before = malformed_count stats in
+  expect_esp_error "chacha minimal garbage" (fun () ->
+      Ipsec.Esp.open_ sa (String.make Ipsec.Esp.overhead 'x'));
+  Alcotest.(check int) "shape ok, not counted malformed" before (malformed_count stats);
+  (* A genuinely sealed empty payload at that exact length opens. *)
+  let tx, _ = mk_sa () in
+  Alcotest.(check string) "empty payload round-trips" ""
+    (Ipsec.Esp.open_ sa (Ipsec.Esp.seal tx ""))
+
+let test_esp_length_guard_tdes () =
+  let sa, stats = mk_sa ~cipher:Ipsec.Sa.Tdes_hmac_sha1 () in
+  let min_len = 12 + 12 + 8 (* header + tag + one CBC block *) in
+  for n = 0 to min_len - 1 do
+    let before = malformed_count stats in
+    expect_esp_error
+      (Printf.sprintf "3des len %d" n)
+      (fun () -> Ipsec.Esp.open_ sa (String.make n 'x'));
+    Alcotest.(check int) (Printf.sprintf "counted at len %d" n) (before + 1)
+      (malformed_count stats)
+  done;
+  (* Ragged cipher blocks between whole-block lengths. *)
+  for extra = 1 to 7 do
+    let before = malformed_count stats in
+    expect_esp_error
+      (Printf.sprintf "3des ragged +%d" extra)
+      (fun () -> Ipsec.Esp.open_ sa (String.make (min_len + extra) 'x'));
+    Alcotest.(check int) (Printf.sprintf "ragged +%d counted" extra) (before + 1)
+      (malformed_count stats)
+  done;
+  (* Whole-block lengths pass the shape check and die later (SPI),
+     leaving the malformed counter alone. *)
+  List.iter
+    (fun n ->
+      let before = malformed_count stats in
+      expect_esp_error
+        (Printf.sprintf "3des shaped garbage %d" n)
+        (fun () -> Ipsec.Esp.open_ sa (String.make n 'x'));
+      Alcotest.(check int)
+        (Printf.sprintf "len %d not counted malformed" n)
+        before (malformed_count stats))
+    [ min_len; min_len + 8; min_len + 64 ];
+  (* And a real 3DES round trip still works under the guard. *)
+  let tx, _ = mk_sa ~cipher:Ipsec.Sa.Tdes_hmac_sha1 () in
+  Alcotest.(check string) "3des round-trips" "legacy transform"
+    (Ipsec.Esp.open_ sa (Ipsec.Esp.seal tx "legacy transform"))
+
+let prop_esp_tdes_mutations_typed_errors =
+  (* The fuzz suite covers the ChaCha transform; same discipline for
+     the legacy 3DES one — mutations and truncations of a valid
+     packet raise Esp_error only. *)
+  QCheck.Test.make ~name:"esp open (3des): mutations raise only Esp_error" ~count:150
+    (QCheck.make QCheck.Gen.(triple (int_bound 10_000) (int_bound 255) (int_bound 10_000)))
+    (fun (pos, byte, cut) ->
+      let tx, _ = mk_sa ~cipher:Ipsec.Sa.Tdes_hmac_sha1 () in
+      let rx, _ = mk_sa ~cipher:Ipsec.Sa.Tdes_hmac_sha1 () in
+      let packet = Ipsec.Esp.seal tx "the slow venerable transform" in
+      let mutated =
+        let b = Bytes.of_string packet in
+        Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+        Bytes.to_string b
+      in
+      let truncated = String.sub packet 0 (cut mod String.length packet) in
+      let total p =
+        match Ipsec.Esp.open_ rx p with
+        | _ -> p = packet
+        | exception Ipsec.Esp.Esp_error _ -> true
+      in
+      total mutated && total truncated)
+
+(* --- compound procedures over plain NFS -------------------------------- *)
+
+let deploy () =
+  let d = Cfs.Cfs_ne.deploy () in
+  let client, root = Cfs.Cfs_ne.connect d () in
+  (d, client, root)
+
+let test_readdirplus_roundtrip () =
+  let _, client, root = deploy () in
+  let dir, _ = Nfs.Client.mkdir client root "plus" Proto.sattr_none in
+  for i = 0 to 26 do
+    let fh, _ =
+      Nfs.Client.create_file client dir (Printf.sprintf "f%02d" i) Proto.sattr_none
+    in
+    ignore (Nfs.Client.write client fh ~off:0 (String.make (i + 1) 'x'))
+  done;
+  let plus = Nfs.Client.readdirplus client dir in
+  let plain = Nfs.Client.readdir client dir in
+  Alcotest.(check (list string)) "same names as readdir" (List.map fst plain)
+    (List.map (fun de -> de.Proto.p_name) plus);
+  (* Every carried handle and attribute matches what per-op LOOKUP +
+     GETATTR would have fetched. *)
+  List.iter
+    (fun de ->
+      if de.Proto.p_name <> "." && de.Proto.p_name <> ".." then begin
+        let fh, attr = Nfs.Client.lookup client dir de.Proto.p_name in
+        Alcotest.(check int) (de.Proto.p_name ^ ": ino") fh.Proto.ino de.Proto.p_fh.Proto.ino;
+        Alcotest.(check int) (de.Proto.p_name ^ ": gen") fh.Proto.gen de.Proto.p_fh.Proto.gen;
+        Alcotest.(check int) (de.Proto.p_name ^ ": size") attr.Proto.size
+          de.Proto.p_attr.Proto.size
+      end)
+    plus
+
+let test_multi_read_roundtrip () =
+  let _, client, root = deploy () in
+  let fh, _ = Nfs.Client.create_file client root "blob" Proto.sattr_none in
+  let data = String.init 30_000 (fun i -> Char.chr (i mod 251)) in
+  Nfs.Client.write_all client fh data;
+  let segs = [ (0, 8192); (8192, 8192); (25_000, 8192); (29_990, 100) ] in
+  let attr, datas = Nfs.Client.multi_read client fh segs in
+  Alcotest.(check int) "attr carried" (String.length data) attr.Proto.size;
+  List.iter2
+    (fun (off, count) got ->
+      let _, want = Nfs.Client.read client fh ~off ~count in
+      Alcotest.(check string) (Printf.sprintf "segment @%d" off) want got)
+    segs datas;
+  (* read_whole over MULTI_READ equals the per-op page loop. *)
+  Alcotest.(check bool) "read_whole equals read_all" true
+    (Nfs.Client.read_whole client fh ~size:(String.length data) = Nfs.Client.read_all client fh);
+  (* Client-side segment validation. *)
+  (match Nfs.Client.multi_read client fh [] with
+  | _ -> Alcotest.fail "empty segment list accepted"
+  | exception Invalid_argument _ -> ());
+  let nine = List.init 9 (fun i -> (i * 8, 8)) in
+  (match Nfs.Client.multi_read client fh nine with
+  | _ -> Alcotest.fail "9 segments accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_multi_read_server_decode_discipline () =
+  (* A hand-built MULTI_READ with a hostile segment count must bounce
+     off the decode discipline as a Garbage_args reply, and the server
+     must stay usable. *)
+  let d, client, root = deploy () in
+  let fh, _ = Nfs.Client.create_file client root "victim" Proto.sattr_none in
+  ignore (Nfs.Client.write client fh ~off:0 "payload");
+  let rpc = Rpc.connect ~link:d.Cfs.Cfs_ne.link d.Cfs.Cfs_ne.rpc in
+  let attempt nsegs =
+    let e = Xdr.Enc.create () in
+    Proto.fh_encode e fh;
+    Xdr.Enc.uint32 e nsegs;
+    for _ = 1 to min nsegs 64 do
+      Xdr.Enc.uint32 e 0;
+      Xdr.Enc.uint32 e 8
+    done;
+    match
+      Rpc.call rpc ~prog:Proto.nfs_prog ~vers:Proto.nfs_vers
+        ~proc:Proto.nfsproc_multi_read (Xdr.Enc.to_string e)
+    with
+    | _ -> Alcotest.failf "segment count %d accepted" nsegs
+    | exception Rpc.Rpc_error _ -> ()
+    | exception Xdr.Decode_error _ -> ()
+  in
+  attempt 0;
+  attempt 9;
+  attempt 0xffffff;
+  Alcotest.(check string) "server alive" "payload"
+    (snd (Nfs.Client.read client fh ~off:0 ~count:100))
+
+(* --- compounds through the cluster redirect path ----------------------- *)
+
+let quoted p = Printf.sprintf "\"%s\"" p
+
+let root_conditions fh value =
+  Printf.sprintf "(app_domain == \"DisCFS\") && (HANDLE == \"%d\") -> \"%s\";" fh.Proto.ino
+    value
+
+let test_cluster_compounds_redirect () =
+  let module Cluster = Discfs.Cluster in
+  let module CC = Discfs.Cluster_client in
+  let module Shard_map = Discfs.Shard_map in
+  let c, ccs = Discfs.Deploy.make_cluster ~servers:3 ~clients:1 ~seed:"hotpath-compound" () in
+  let cc = List.hd ccs in
+  let cred =
+    Cluster.admin_issue c
+      ~licensees:(quoted (CC.principal cc))
+      ~conditions:(root_conditions (CC.root cc) "RWX")
+      ()
+  in
+  (match CC.submit_credential cc cred with Ok _ -> () | Error e -> Alcotest.fail e);
+  let root = CC.root cc in
+  let dir, _, _ = CC.mkdir cc ~dir:root "compound" () in
+  let data = String.init 20_000 (fun i -> Char.chr ((i * 7) mod 251)) in
+  let fh, _, _ = CC.create cc ~dir "big.dat" () in
+  CC.write_all cc fh data;
+  ignore (CC.create cc ~dir "small.dat" ());
+  (* READDIRPLUS routes like metadata: any frontend serves it. *)
+  let plus = CC.readdirplus cc dir in
+  Alcotest.(check (list string)) "cluster readdirplus names" [ "."; ".."; "big.dat"; "small.dat" ]
+    (List.map (fun de -> de.Proto.p_name) plus);
+  (* MULTI_READ routes like READ. Reshard the file's shard so the
+     client's cached map goes stale: the compound must be bounced
+     with a signed redirect and still return the right bytes. *)
+  let stats = Cluster.stats c in
+  let map = Cluster.map c in
+  let shard = Shard_map.shard_of map ~ino:fh.Proto.ino in
+  let old_owner = Shard_map.owner map ~ino:fh.Proto.ino in
+  Cluster.reshard c ~shard ~owner:((old_owner + 1) mod Cluster.nservers c);
+  let followed_before = Stats.get stats "redirect.followed" in
+  let _, datas = CC.multi_read cc fh [ (0, 8192); (8192, 8192); (16_384, 8192) ] in
+  Alcotest.(check string) "multi_read across redirect" data (String.concat "" datas);
+  Alcotest.(check bool) "redirect followed" true
+    (Stats.get stats "redirect.followed" > followed_before);
+  Alcotest.(check int) "no bad signatures" 0 (Stats.get stats "redirect.bad_sig");
+  Alcotest.(check string) "read_whole via compound" data
+    (CC.read_whole cc fh ~size:(String.length data))
+
+let suite =
+  [
+    Alcotest.test_case "golden: call frames byte-identical" `Quick test_call_bytes_golden;
+    Alcotest.test_case "golden: reply frames byte-identical" `Quick test_reply_bytes_golden;
+    Alcotest.test_case "golden: arena seal byte-identical" `Quick test_seal_bytes_golden;
+    Alcotest.test_case "xdr: non-zero padding rejected" `Quick test_nonzero_padding_rejected;
+    QCheck_alcotest.to_alcotest prop_canonical_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mutated_xdr_typed_errors;
+    Alcotest.test_case "esp: chacha length guard" `Quick test_esp_length_guard_chacha;
+    Alcotest.test_case "esp: 3des length guard" `Quick test_esp_length_guard_tdes;
+    QCheck_alcotest.to_alcotest prop_esp_tdes_mutations_typed_errors;
+    Alcotest.test_case "readdirplus round trip" `Quick test_readdirplus_roundtrip;
+    Alcotest.test_case "multi_read round trip" `Quick test_multi_read_roundtrip;
+    Alcotest.test_case "multi_read decode discipline" `Quick
+      test_multi_read_server_decode_discipline;
+    Alcotest.test_case "cluster compounds follow redirects" `Quick
+      test_cluster_compounds_redirect;
+  ]

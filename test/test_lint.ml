@@ -70,6 +70,32 @@ let test_decode_result () =
   Alcotest.(check (list string)) "only decode-result" [ "decode-result" ] (rule_names fs);
   Alcotest.(check int) "failwith and assert false" 2 (List.length fs)
 
+let test_hotpath_alloc () =
+  (* Two of the three seeded sites survive: the bare one and the one
+     whose marker carries no justification string (reworded); the
+     justified site is silenced. The file-level allow in the fixture
+     header must not suppress any of them. *)
+  let fs = check ~role:Lint.Rules.Decode "Bad_hotpath_alloc" in
+  Alcotest.(check (list string)) "only hotpath-alloc" [ "hotpath-alloc" ] (rule_names fs);
+  Alcotest.(check int) "bare + unjustified sites" 2 (List.length fs);
+  let messages = List.map (fun f -> f.Lint.Rules.message) fs in
+  let starts_with prefix m =
+    String.length m >= String.length prefix
+    && String.sub m 0 (String.length prefix) = prefix
+  in
+  Alcotest.(check bool) "bare site gets the standard message" true
+    (List.exists (starts_with "fresh Enc.create") messages);
+  Alcotest.(check bool) "unjustified marker gets the reworded demand" true
+    (List.exists (starts_with "Enc.create under an 'allow hotpath-alloc'") messages);
+  (* The file-level directive parses — and is ignored for this rule. *)
+  Alcotest.(check bool) "file-level allow parsed yet ineffective" true
+    (List.mem "hotpath-alloc"
+       (List.map Lint.Rules.rule_name
+          (Lint.Rules.suppressed_rules "../test/lint_fixtures/bad_hotpath_alloc.ml")));
+  (* Outside the decode role the rule does not apply at all. *)
+  Alcotest.(check int) "lib role unaffected" 0
+    (List.length (check ~role:Lint.Rules.Lib "Bad_hotpath_alloc"))
+
 let test_role_gating () =
   (* decode-result only applies to wire-decode layers... *)
   Alcotest.(check int) "bare failwith fine outside decode paths" 0
@@ -426,6 +452,7 @@ let suite =
     ("pass-a: secret-flow", `Quick, test_secret_flow);
     ("pass-a: decode-result", `Quick, test_decode_result);
     ("pass-a: role gating", `Quick, test_role_gating);
+    ("pass-a: hotpath-alloc per-site suppression", `Quick, test_hotpath_alloc);
     ("pass-a: suppression comment", `Quick, test_suppression);
     ("pass-a: clean fixture", `Quick, test_clean);
     ("pass-a: rule names round-trip", `Quick, test_rule_names_roundtrip);

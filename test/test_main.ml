@@ -26,4 +26,5 @@ let () =
       ("bonnie", Test_bonnie.suite);
       ("topo", Test_topo.suite);
       ("race", Test_race.suite);
+      ("hotpath", Test_hotpath.suite);
     ]
